@@ -1,0 +1,97 @@
+package rdbdyn_test
+
+import (
+	"testing"
+
+	"rdbdyn/internal/bench"
+)
+
+// Each benchmark regenerates one paper artifact (figure or table — see
+// the experiment index in DESIGN.md) per iteration. Sizes are reduced
+// from the defaults so a full -bench=. sweep stays in the minutes
+// range; cmd/rdbbench runs the full-size versions.
+
+func benchReport(b *testing.B, run func() (*bench.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig21(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig21(128) })
+}
+
+func BenchmarkFig22(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.Fig22(128) })
+}
+
+func BenchmarkHyperbolaFit(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.HyperbolaFits(128) })
+}
+
+func BenchmarkCompetition(b *testing.B) {
+	benchReport(b, bench.CompetitionCosts)
+}
+
+func BenchmarkHostVariable(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.HostVariable(20000) })
+}
+
+func BenchmarkEstimation(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.EstimationStudy(30000) })
+}
+
+func BenchmarkJscan(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.JscanStudy(20000) })
+}
+
+func BenchmarkTacticBackground(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TacticBackground(20000) })
+}
+
+func BenchmarkTacticFastFirst(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TacticFastFirst(20000) })
+}
+
+func BenchmarkTacticSorted(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TacticSorted(20000) })
+}
+
+func BenchmarkTacticIndexOnly(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.TacticIndexOnly(20000) })
+}
+
+func BenchmarkGoalInference(b *testing.B) {
+	benchReport(b, bench.GoalInference)
+}
+
+func BenchmarkHybridContainer(b *testing.B) {
+	benchReport(b, bench.HybridContainer)
+}
+
+func BenchmarkUnionScan(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.UnionScan(20000) })
+}
+
+func BenchmarkAblations(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.Ablations(20000) })
+}
+
+func BenchmarkInterference(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.Interference(20000) })
+}
+
+func BenchmarkHistogramBaseline(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.HistogramBaseline(30000) })
+}
+
+func BenchmarkSamplerComparison(b *testing.B) {
+	benchReport(b, func() (*bench.Report, error) { return bench.SamplerComparison(30000) })
+}

@@ -1,0 +1,69 @@
+// Command rdbbench regenerates the retrieval experiments of the
+// reproduction: every table-shaped result from the paper's Sections 3–7
+// (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	rdbbench -exp all
+//	rdbbench -exp hostvar -rows 100000
+//	rdbbench -exp jscan
+//
+// Experiment IDs: competition, hostvar, estimate, jscan, background,
+// fastfirst, sorted, indexonly, goals, hybrid, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdbdyn/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (competition|hostvar|estimate|jscan|background|fastfirst|sorted|indexonly|goals|hybrid|union|ablations|interfere|histogram|samplers|all)")
+	rows := flag.Int("rows", 0, "table size for retrieval experiments (0 = experiment default)")
+	flag.Parse()
+
+	runners := map[string]func() (*bench.Report, error){
+		"competition": bench.CompetitionCosts,
+		"hostvar":     func() (*bench.Report, error) { return bench.HostVariable(*rows) },
+		"estimate":    func() (*bench.Report, error) { return bench.EstimationStudy(*rows) },
+		"jscan":       func() (*bench.Report, error) { return bench.JscanStudy(*rows) },
+		"background":  func() (*bench.Report, error) { return bench.TacticBackground(*rows) },
+		"fastfirst":   func() (*bench.Report, error) { return bench.TacticFastFirst(*rows) },
+		"sorted":      func() (*bench.Report, error) { return bench.TacticSorted(*rows) },
+		"indexonly":   func() (*bench.Report, error) { return bench.TacticIndexOnly(*rows) },
+		"goals":       bench.GoalInference,
+		"hybrid":      bench.HybridContainer,
+		"union":       func() (*bench.Report, error) { return bench.UnionScan(*rows) },
+		"ablations":   func() (*bench.Report, error) { return bench.Ablations(*rows) },
+		"interfere":   func() (*bench.Report, error) { return bench.Interference(*rows) },
+		"histogram":   func() (*bench.Report, error) { return bench.HistogramBaseline(*rows) },
+		"samplers":    func() (*bench.Report, error) { return bench.SamplerComparison(*rows) },
+	}
+	if *exp == "all" {
+		reports, err := bench.All()
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range reports {
+			r.Fprint(os.Stdout)
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	r, err := run()
+	if err != nil {
+		fail(err)
+	}
+	r.Fprint(os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rdbbench:", err)
+	os.Exit(1)
+}

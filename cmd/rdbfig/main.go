@@ -1,0 +1,53 @@
+// Command rdbfig regenerates the paper's analytical figures: the
+// selectivity-distribution transformations of Figure 2.1, the
+// certainty-degradation series of Figure 2.2, and the Section 2
+// truncated-hyperbola fit errors.
+//
+// Usage:
+//
+//	rdbfig -fig 2.1
+//	rdbfig -fig 2.2 -bins 1024
+//	rdbfig -fig hyperbola
+//	rdbfig -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdbdyn/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (2.1|2.2|hyperbola|all)")
+	bins := flag.Int("bins", 0, "distribution bins (0 = default)")
+	flag.Parse()
+
+	var runs []func() (*bench.Report, error)
+	switch *fig {
+	case "2.1":
+		runs = append(runs, func() (*bench.Report, error) { return bench.Fig21(*bins) })
+	case "2.2":
+		runs = append(runs, func() (*bench.Report, error) { return bench.Fig22(*bins) })
+	case "hyperbola":
+		runs = append(runs, func() (*bench.Report, error) { return bench.HyperbolaFits(*bins) })
+	case "all":
+		runs = append(runs,
+			func() (*bench.Report, error) { return bench.Fig21(*bins) },
+			func() (*bench.Report, error) { return bench.Fig22(*bins) },
+			func() (*bench.Report, error) { return bench.HyperbolaFits(*bins) },
+		)
+	default:
+		fmt.Fprintf(os.Stderr, "rdbfig: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdbfig:", err)
+			os.Exit(1)
+		}
+		r.Fprint(os.Stdout)
+	}
+}

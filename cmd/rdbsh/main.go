@@ -1,0 +1,161 @@
+// Command rdbsh is an interactive SQL shell over an in-memory database
+// driven by the dynamic optimizer. It starts with the demo FAMILIES
+// table loaded (100k rows, skewed CITY, indexes on AGE and CITY) so the
+// paper's behaviors can be poked at directly.
+//
+//	$ rdbsh
+//	rdb> SELECT COUNT(*) FROM FAMILIES WHERE AGE >= 9900
+//	rdb> SELECT * FROM FAMILIES WHERE CITY = 0 LIMIT TO 5 ROWS
+//	rdb> \stats        -- show the last statement's tactic, trace, and I/O
+//	rdb> \set A1 9990  -- bind a host variable
+//	rdb> SELECT * FROM FAMILIES WHERE AGE >= :A1 LIMIT 3
+//	rdb> \quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/engine"
+	"rdbdyn/internal/workload"
+)
+
+func main() {
+	db := engine.Open(engine.Options{PoolFrames: 1024})
+	spec := workload.TableSpec{
+		Name: "FAMILIES",
+		Rows: 100000,
+		Columns: []workload.ColumnSpec{
+			{Name: "ID", Gen: &workload.Seq{}},
+			{Name: "AGE", Gen: workload.Uniform{Lo: 0, Hi: 10000}},
+			{Name: "CITY", Gen: &workload.Zipf{S: 1.3, V: 1, N: 1000}},
+			{Name: "PAD", Gen: workload.Pad{Len: 40}},
+		},
+		Indexes: [][]string{{"AGE"}, {"CITY"}},
+		Seed:    1,
+	}
+	fmt.Println("loading demo FAMILIES table (100k rows, indexes on AGE and CITY)...")
+	if _, err := workload.Build(db.Catalog(), spec); err != nil {
+		fmt.Fprintln(os.Stderr, "rdbsh:", err)
+		os.Exit(1)
+	}
+	fmt.Println(`ready. SQL statements end at newline; \help for commands.`)
+
+	binds := engine.Binds{}
+	var lastStats *core.RetrievalStats
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("rdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println(`commands:
+  \set NAME VALUE   bind a host variable (integer or 'string')
+  \binds            show current bindings
+  \stats            show the last statement's tactic, strategy, I/O, trace
+  \quit             exit`)
+		case line == `\binds`:
+			for k, v := range binds {
+				fmt.Printf("  :%s = %v\n", k, v)
+			}
+		case line == `\stats`:
+			if lastStats == nil {
+				fmt.Println("no statement has run yet")
+				continue
+			}
+			printStats(*lastStats)
+		case strings.HasPrefix(line, `\set `):
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				fmt.Println(`usage: \set NAME VALUE`)
+				continue
+			}
+			if v, err := strconv.ParseInt(parts[2], 10, 64); err == nil {
+				binds[parts[1]] = v
+			} else if f, err := strconv.ParseFloat(parts[2], 64); err == nil {
+				binds[parts[1]] = f
+			} else {
+				binds[parts[1]] = strings.Trim(parts[2], "'")
+			}
+		case strings.HasPrefix(line, `\`):
+			fmt.Println(`unknown command; \help for help`)
+		default:
+			up := strings.ToUpper(line)
+			if strings.HasPrefix(up, "INSERT") || strings.HasPrefix(up, "DELETE") || strings.HasPrefix(up, "UPDATE") {
+				n, err := db.Exec(line, binds)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("-- %d rows affected\n", n)
+				continue
+			}
+			st, err := runSQL(db, line, binds)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			lastStats = st
+		}
+	}
+}
+
+func runSQL(db *engine.DB, src string, binds engine.Binds) (*core.RetrievalStats, error) {
+	db.Pool().ResetStats()
+	res, err := db.Query(src, binds)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(strings.Join(res.Columns(), " | "))
+	count := 0
+	const maxShow = 25
+	for {
+		row, ok, err := res.Next()
+		if err != nil {
+			res.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		count++
+		if count <= maxShow {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+	}
+	if count > maxShow {
+		fmt.Printf("... (%d rows total)\n", count)
+	}
+	if err := res.Close(); err != nil {
+		return nil, err
+	}
+	st := res.Stats()
+	fmt.Printf("-- %d rows, tactic=%s, pool I/O: %s\n", count, st.Tactic, db.Pool().Stats())
+	return &st, nil
+}
+
+func printStats(st core.RetrievalStats) {
+	fmt.Printf("tactic:    %s\n", st.Tactic)
+	fmt.Printf("strategy:  %s\n", st.Strategy)
+	fmt.Printf("attributed I/O: %s (estimation: %d)\n", st.IO, st.EstimateIO)
+	fmt.Printf("rows delivered: %d (foreground: %d, final list: %d)\n",
+		st.RowsDelivered, st.FgRows, st.FinalListLen)
+	for _, tr := range st.Trace {
+		fmt.Println("  *", tr)
+	}
+}

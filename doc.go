@@ -1,0 +1,12 @@
+// Package rdbdyn is a from-scratch Go reproduction of Gennady
+// Antoshenkov's "Dynamic Query Optimization in Rdb/VMS" (ICDE 1993):
+// the competition-based dynamic optimizer for single-table access, its
+// selectivity-distribution theory, and the storage substrate it needs.
+//
+// The public surface lives in internal/engine (database façade),
+// internal/core (the dynamic optimizer), internal/dist (the Section 2
+// selectivity calculus), and internal/competition (the Section 3 cost
+// model). See README.md for the architecture overview, DESIGN.md for
+// the system inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package rdbdyn

@@ -1,0 +1,3 @@
+module rdbdyn
+
+go 1.22

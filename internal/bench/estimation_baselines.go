@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/workload"
+)
+
+// HistogramBaseline regenerates the Section 5 comparison against
+// equi-width histograms, demonstrating all three drawbacks the paper
+// lists: costly build rescans, sub-granularity blindness for the small
+// ranges that matter most, and staleness under updates (the B-tree
+// descent "is always up-to-date").
+func HistogramBaseline(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 100000
+	}
+	spec := workload.TableSpec{
+		Name: "H",
+		Rows: rows,
+		Columns: []workload.ColumnSpec{
+			{Name: "K", Gen: workload.Uniform{Lo: 0, Hi: int64(rows)}},
+			// A hot spike the uniform histogram cannot see: 2% of rows
+			// concentrated on a single key.
+			{Name: "Z", Gen: &workload.Zipf{S: 2.0, V: 1, N: 100000}},
+		},
+		Indexes: [][]string{{"K"}, {"Z"}},
+		Seed:    91,
+	}
+	l, err := newLab(0, core.DefaultConfig(), spec)
+	if err != nil {
+		return nil, err
+	}
+	kIx, err := l.mustIndex("H_IX0_K")
+	if err != nil {
+		return nil, err
+	}
+	zIx, err := l.mustIndex("H_IX1_Z")
+	if err != nil {
+		return nil, err
+	}
+	l.db.Pool().EvictAll()
+	l.db.Pool().ResetStats()
+	hK, err := estimate.BuildHistogram(kIx, 100)
+	if err != nil {
+		return nil, err
+	}
+	l.db.Pool().EvictAll()
+	hZ, err := estimate.BuildHistogram(zIx, 100)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "T5.H",
+		Title:  fmt.Sprintf("Descent-to-split vs equi-width histograms over %d rows (paper Section 5)", rows),
+		Header: []string{"case", "truth", "descent", "histogram-100", "descent I/O", "hist build I/O"},
+	}
+	intRange := func(a, b int64) expr.Range {
+		return expr.Range{
+			Lo: expr.Bound{Value: expr.Int(a), Inclusive: true, Present: true},
+			Hi: expr.Bound{Value: expr.Int(b), Present: true},
+		}
+	}
+	type probeCase struct {
+		name string
+		ix   int // 0 = K, 1 = Z
+		rg   expr.Range
+	}
+	probes := []probeCase{
+		{"uniform, wide (10%)", 0, intRange(1000, 1000+int64(rows/10))},
+		{"uniform, medium (0.5%)", 0, intRange(5000, 5000+int64(rows/200))},
+		{"uniform, sub-bucket (0.01%)", 0, intRange(7000, 7000+int64(rows/10000))},
+		{"zipf hot point", 1, intRange(0, 1)},
+		{"zipf cold slice", 1, intRange(50000, 60000)},
+	}
+	for _, p := range probes {
+		ix, h := kIx, hK
+		if p.ix == 1 {
+			ix, h = zIx, hZ
+		}
+		lo, hi := p.rg.EncodedBounds()
+		truth, err := ix.Tree.CountRange(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		l.db.Pool().EvictAll()
+		l.db.Pool().ResetStats()
+		desc, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		descCost := l.db.Pool().Stats().IOCost()
+		hist := h.EstimateRange(p.rg)
+		r.AddRow(p.name, n(truth), f(desc), f(hist), n(descCost), n(h.BuildCost))
+	}
+	// Staleness: double the uniform keys; the tree follows, the
+	// histogram doesn't.
+	for i := 0; i < rows/2; i++ {
+		if _, err := l.tab.Insert(expr.Row{expr.Int(int64(i % rows)), expr.Int(0)}); err != nil {
+			return nil, err
+		}
+	}
+	rg := intRange(1000, 1000+int64(rows/10))
+	lo, hi := rg.EncodedBounds()
+	truth, err := kIx.Tree.CountRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	desc, _, err := kIx.Tree.EstimateRangeRefined(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	r.AddRow("after +50% inserts (stale hist)", n(truth), f(desc), f(hK.EstimateRange(rg)), "-", "-")
+	r.Notef("the histogram estimates sub-bucket ranges by bucket-uniformity (wrong for spikes and thin")
+	r.Notef("slices), costs a full index scan to build, and silently drifts as the table changes;")
+	r.Notef("the descent estimate is leaf-exact for small ranges, costs ~height I/Os, and never goes stale.")
+	return r, nil
+}
+
+// SamplerComparison regenerates the Section 5 / [Ant92] claim that
+// ranked ("pseudo-ranked B+-tree") sampling "significantly supersedes
+// the known acceptance/rejection method" of [OlRo89]: same sample
+// count, far fewer node visits.
+func SamplerComparison(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 100000
+	}
+	spec := workload.TableSpec{
+		Name: "SMP",
+		Rows: rows,
+		Columns: []workload.ColumnSpec{
+			{Name: "K", Gen: workload.Uniform{Lo: 0, Hi: int64(rows)}},
+		},
+		Indexes: [][]string{{"K"}},
+		Seed:    17,
+	}
+	l, err := newLab(0, core.DefaultConfig(), spec)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := l.mustIndex("SMP_IX0_K")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "T5.S",
+		Title:  "Ranked sampling [Ant92-style] vs acceptance/rejection [OlRo89] (paper Section 5)",
+		Header: []string{"samples wanted", "ranked node visits", "A/R node visits", "A/R attempts", "A/R accept rate"},
+	}
+	rng := rand.New(rand.NewSource(23))
+	mf := ix.Tree.MaxFanout()
+	for _, want := range []int{16, 64, 256} {
+		// Ranked: each sample is one O(height) descent (plus the two
+		// rank probes, amortized).
+		rankedVisits := (want + 2) * ix.Tree.Height()
+		// A/R: draw until accepted.
+		attempts, visits, accepted := 0, 0, 0
+		for accepted < want && attempts < want*100000 {
+			attempts++
+			_, _, ok, v, err := ix.Tree.SampleAcceptReject(rng, mf)
+			if err != nil {
+				return nil, err
+			}
+			visits += v
+			if ok {
+				accepted++
+			}
+		}
+		rate := float64(accepted) / float64(attempts)
+		r.AddRow(n(int64(want)), n(int64(rankedVisits)), n(int64(visits)), n(int64(attempts)),
+			fmt.Sprintf("%.5f", rate))
+	}
+	r.Notef("shape to reproduce: the A/R sampler rejects most descents (acceptance = prod(fanout_i)/")
+	r.Notef("prod(maxFanout)), paying orders of magnitude more node visits per accepted sample.")
+	return r, nil
+}

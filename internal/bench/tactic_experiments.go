@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/engine"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+	"rdbdyn/internal/workload"
+)
+
+// TacticBackground regenerates the Section 7 background-only story: a
+// total-time retrieval over fetch-needed indexes sweeps selectivity;
+// the Jscan-based dynamic executor tracks the better of indexed and
+// sequential retrieval, with the crossover falling where random fetch
+// volume overtakes the sequential scan.
+func TacticBackground(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 50000
+	}
+	l, err := newLab(256, core.DefaultConfig(), familiesSpec(rows))
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := l.db.Prepare("SELECT * FROM FAMILIES WHERE AGE < :HI OPTIMIZE FOR TOTAL TIME")
+	if err != nil {
+		return nil, err
+	}
+	ageIx := l.tab.Indexes[0]
+	r := &Report{
+		ID:     "T7.BG",
+		Title:  fmt.Sprintf("Background-only tactic: selectivity sweep over %d rows, %d pages (paper Section 7)", rows, l.tab.Pages()),
+		Header: []string{"sel", "rows", "dynamic I/O", "fixed Fscan I/O", "fixed Tscan I/O", "dynamic strategy"},
+	}
+	for _, hi := range []int64{3, 10, 30, 100, 300, 1000, 3000, 10000} {
+		binds := engine.Binds{"HI": hi}
+		nRows, dynIO, st, err := l.runStmt(stmt, binds, 0)
+		if err != nil {
+			return nil, err
+		}
+		q := &core.Query{Table: l.tab, Restriction: mustRestriction(l, "AGE", expr.LT, hi)}
+		_, fsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyFscan, Index: ageIx}, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, tsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyTscan}, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(f(float64(nRows)/float64(rows)), n(int64(nRows)),
+			n(dynIO.IOCost()), n(fsIO.IOCost()), n(tsIO.IOCost()), st.Strategy)
+	}
+	r.Notef("shape to reproduce: dynamic follows the Fscan line at low selectivity and the Tscan")
+	r.Notef("line at high selectivity, switching near their crossover without being told where it is.")
+	return r, nil
+}
+
+// TacticFastFirst regenerates the fast-first story: under early
+// termination (small LIMIT) the tactic matches the immediate-delivery
+// Fscan; when the retrieval runs to the end it matches the
+// background-only Jscan path, combining "the best of both worlds".
+func TacticFastFirst(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 50000
+	}
+	l, err := newLab(256, core.DefaultConfig(), familiesSpec(rows))
+	if err != nil {
+		return nil, err
+	}
+	ageIx := l.tab.Indexes[0]
+	r := &Report{
+		ID:    "T7.FF",
+		Title: "Fast-first tactic: early-termination sweep (paper Section 7)",
+		Header: []string{"limit", "delivered", "fast-first I/O", "fixed Fscan I/O",
+			"total-time dynamic I/O", "fast-first strategy"},
+	}
+	const hi = 2000 // ~20% selectivity: plenty of matches to stop early in
+	for _, limit := range []int{1, 10, 100, 1000, 0} {
+		src := "SELECT * FROM FAMILIES WHERE AGE < 2000 OPTIMIZE FOR FAST FIRST"
+		stmt, err := l.db.Prepare(src)
+		if err != nil {
+			return nil, err
+		}
+		nRows, ffIO, st, err := l.runStmt(stmt, nil, limit)
+		if err != nil {
+			return nil, err
+		}
+		q := &core.Query{Table: l.tab, Restriction: mustRestriction(l, "AGE", expr.LT, hi)}
+		_, fsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyFscan, Index: ageIx}, limit)
+		if err != nil {
+			return nil, err
+		}
+		ttStmt, err := l.db.Prepare("SELECT * FROM FAMILIES WHERE AGE < 2000 OPTIMIZE FOR TOTAL TIME")
+		if err != nil {
+			return nil, err
+		}
+		_, ttIO, _, err := l.runStmt(ttStmt, nil, limit)
+		if err != nil {
+			return nil, err
+		}
+		lim := "all"
+		if limit > 0 {
+			lim = n(int64(limit))
+		}
+		r.AddRow(lim, n(int64(nRows)), n(ffIO.IOCost()), n(fsIO.IOCost()), n(ttIO.IOCost()), st.Strategy)
+	}
+	r.Notef("shape to reproduce: for tiny limits fast-first costs about what Fscan costs;")
+	r.Notef("drained to the end it stays near the total-time (Jscan) cost instead of Fscan's random-fetch blowup.")
+	return r, nil
+}
+
+// TacticSorted regenerates the sorted tactic: an order-delivering Fscan
+// cooperating with a filter-producing Jscan eliminates most record
+// fetches compared to the plain order-index Fscan.
+func TacticSorted(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 40000
+	}
+	spec := workload.TableSpec{
+		Name: "S",
+		Rows: rows,
+		Columns: []workload.ColumnSpec{
+			{Name: "A", Gen: workload.Uniform{Lo: 0, Hi: 10000}}, // order column
+			{Name: "C", Gen: workload.Uniform{Lo: 0, Hi: 1000}},  // filter column
+			{Name: "PAD", Gen: workload.Pad{Len: 50}},
+		},
+		Indexes: [][]string{{"A"}, {"C"}},
+		Seed:    31,
+	}
+	r := &Report{
+		ID:     "T7.SO",
+		Title:  "Sorted tactic: order-needed Fscan + filter Jscan (paper Section 7)",
+		Header: []string{"filter sel", "rows", "sorted tactic I/O", "plain Fscan I/O", "sort(Tscan) I/O", "strategy"},
+	}
+	for _, cHi := range []int64{5, 20, 100, 500} {
+		l, err := newLab(256, core.DefaultConfig(), spec)
+		if err != nil {
+			return nil, err
+		}
+		aIx, err := l.mustIndex("S_IX0_A")
+		if err != nil {
+			return nil, err
+		}
+		// The sorted tactic is the paper's fast-first + order arrangement;
+		// under total-time the optimizer would compare against
+		// materialize-and-sort instead.
+		src := fmt.Sprintf("SELECT * FROM S WHERE A >= 0 AND C < %d ORDER BY A OPTIMIZE FOR FAST FIRST", cHi)
+		stmt, err := l.db.Prepare(src)
+		if err != nil {
+			return nil, err
+		}
+		nRows, soIO, st, err := l.runStmt(stmt, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		aCol, _ := l.tab.ColumnIndex("A")
+		cCol, _ := l.tab.ColumnIndex("C")
+		restriction := expr.NewAnd(
+			expr.NewCmp(expr.GE, expr.Col(aCol, "A"), expr.Lit(expr.Int(0))),
+			expr.NewCmp(expr.LT, expr.Col(cCol, "C"), expr.Lit(expr.Int(cHi))),
+		)
+		q := &core.Query{Table: l.tab, Restriction: restriction, OrderBy: []int{aCol}}
+		_, fsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyFscan, Index: aIx}, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, tsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyTscan}, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(f(float64(cHi)/1000), n(int64(nRows)), n(soIO.IOCost()), n(fsIO.IOCost()),
+			n(tsIO.IOCost()), st.Strategy)
+	}
+	r.Notef("shape to reproduce: at selective filters the Jscan-built filter saves most of the plain")
+	r.Notef("Fscan's fetches while preserving delivery order (no sort materialization).")
+	return r, nil
+}
+
+// TacticIndexOnly regenerates the index-only tactic: the best
+// self-sufficient Sscan runs in the foreground racing a Jscan; the
+// winner depends on which side the data favors, resolved per run.
+func TacticIndexOnly(rows int) (*Report, error) {
+	if rows <= 0 {
+		rows = 40000
+	}
+	spec := workload.TableSpec{
+		Name: "IO",
+		Rows: rows,
+		Columns: []workload.ColumnSpec{
+			{Name: "A", Gen: workload.Uniform{Lo: 0, Hi: 10000}},
+			{Name: "B", Gen: workload.Uniform{Lo: 0, Hi: 10000}},
+			{Name: "PAD", Gen: workload.Pad{Len: 50}},
+		},
+		// A+B is self-sufficient for SELECT A, B; B alone is
+		// fetch-needed competition.
+		Indexes: [][]string{{"A", "B"}, {"B"}},
+		Seed:    13,
+	}
+	r := &Report{
+		ID:     "T7.IO",
+		Title:  "Index-only tactic: Sscan vs Jscan competition (paper Section 7)",
+		Header: []string{"case", "rows", "dynamic I/O", "pure Sscan I/O", "Tscan I/O", "strategy"},
+	}
+	cases := []struct {
+		name string
+		aHi  int64 // Sscan range width on A
+		bHi  int64 // Jscan range width on B
+	}{
+		{"Sscan favored (narrow A, wide B)", 100, 9000},
+		{"balanced", 2000, 2000},
+		{"Jscan favored (wide A, narrow B)", 9000, 40},
+	}
+	for _, c := range cases {
+		l, err := newLab(256, core.DefaultConfig(), spec)
+		if err != nil {
+			return nil, err
+		}
+		src := fmt.Sprintf("SELECT A, B FROM IO WHERE A < %d AND B < %d OPTIMIZE FOR TOTAL TIME", c.aHi, c.bHi)
+		stmt, err := l.db.Prepare(src)
+		if err != nil {
+			return nil, err
+		}
+		nRows, dynIO, st, err := l.runStmt(stmt, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		abIx, err := l.mustIndex("IO_IX0_A_B")
+		if err != nil {
+			return nil, err
+		}
+		q := stmt.CoreQuery()
+		_, ssIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategySscan, Index: abIx}, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, tsIO, err := l.runFixed(q, core.FixedStrategy{Kind: core.StrategyTscan}, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(c.name, n(int64(nRows)), n(dynIO.IOCost()), n(ssIO.IOCost()), n(tsIO.IOCost()), st.Strategy)
+	}
+	r.Notef("shape to reproduce: the competition resolves to whichever side the selectivities favor;")
+	r.Notef("the dynamic cost stays near the per-case winner.")
+	return r, nil
+}
+
+// HybridContainer regenerates the Section 6 "engineering around the
+// L-shape" ablation: the hybrid RID container against always-allocate
+// and always-spill configurations across L-shaped list sizes.
+func HybridContainer() (*Report, error) {
+	r := &Report{
+		ID:     "TX.S",
+		Title:  "Hybrid RID container ablation (paper Section 6)",
+		Header: []string{"list size", "config", "spilled", "temp I/O", "mem RIDs"},
+	}
+	configs := []struct {
+		name string
+		cfg  rid.Config
+	}{
+		{"hybrid (paper)", rid.DefaultConfig()},
+		{"always-allocate", rid.Config{SmallCap: 1, MemBudget: 1 << 30}},
+		{"tiny memory (spill-happy)", rid.Config{SmallCap: 1, MemBudget: 32}},
+	}
+	for _, size := range []int{0, 5, 20, 500, 5000, 50000} {
+		for _, c := range configs {
+			pool := storage.NewBufferPool(storage.NewDisk(0), 64)
+			cont := rid.NewContainer(pool, c.cfg)
+			pool.ResetStats()
+			for i := 0; i < size; i++ {
+				if err := cont.Append(storage.RID{
+					Page: storage.PageID{File: 9, No: storage.PageNo(i / 100)},
+					Slot: uint16(i % 100),
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := cont.SortedAll(); err != nil {
+				return nil, err
+			}
+			st := pool.Stats()
+			r.AddRow(n(int64(size)), c.name, fmt.Sprintf("%v", cont.Spilled()),
+				n(st.IOCost()), n(int64(cont.MemRIDs())))
+		}
+	}
+	r.Notef("shape to reproduce: the hybrid pays nothing for the dominant tiny lists (L-shape head)")
+	r.Notef("and degrades to bounded-memory spill for the rare huge ones (L-shape tail).")
+	return r, nil
+}
+
+// All runs every experiment with default sizes, in DESIGN.md order.
+func All() ([]*Report, error) {
+	var out []*Report
+	add := func(r *Report, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+	if err := add(Fig21(0)); err != nil {
+		return nil, err
+	}
+	if err := add(Fig22(0)); err != nil {
+		return nil, err
+	}
+	if err := add(HyperbolaFits(0)); err != nil {
+		return nil, err
+	}
+	if err := add(CompetitionCosts()); err != nil {
+		return nil, err
+	}
+	if err := add(HostVariable(0)); err != nil {
+		return nil, err
+	}
+	if err := add(EstimationStudy(0)); err != nil {
+		return nil, err
+	}
+	if err := add(JscanStudy(0)); err != nil {
+		return nil, err
+	}
+	if err := add(TacticBackground(0)); err != nil {
+		return nil, err
+	}
+	if err := add(TacticFastFirst(0)); err != nil {
+		return nil, err
+	}
+	if err := add(TacticSorted(0)); err != nil {
+		return nil, err
+	}
+	if err := add(TacticIndexOnly(0)); err != nil {
+		return nil, err
+	}
+	if err := add(GoalInference()); err != nil {
+		return nil, err
+	}
+	if err := add(HybridContainer()); err != nil {
+		return nil, err
+	}
+	if err := add(UnionScan(0)); err != nil {
+		return nil, err
+	}
+	if err := add(Ablations(0)); err != nil {
+		return nil, err
+	}
+	if err := add(Interference(0)); err != nil {
+		return nil, err
+	}
+	if err := add(HistogramBaseline(0)); err != nil {
+		return nil, err
+	}
+	if err := add(SamplerComparison(0)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+var (
+	benchTreeCache *BTree
+	benchTreeSize  int
+)
+
+// benchTree caches the built tree across benchmark rounds — the
+// 100k-insert setup would otherwise dominate every b.N probe round.
+func benchTree(b *testing.B, n int) *BTree {
+	b.Helper()
+	if benchTreeCache != nil && benchTreeSize == n {
+		return benchTreeCache
+	}
+	d := storage.NewDisk(8192)
+	bp := storage.NewBufferPool(d, 0)
+	tr, err := New(bp, d.CreateFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(rng.Int63n(int64(n))), ridFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchTreeCache, benchTreeSize = tr, n
+	return tr
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	d := storage.NewDisk(8192)
+	bp := storage.NewBufferPool(d, 0)
+	tr, _ := New(bp, d.CreateFile())
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(intKey(rng.Int63()), ridFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreePointLookup(b *testing.B) {
+	tr := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := intKey(rng.Int63n(100000))
+		if _, err := tr.Seek(k, expr.KeySuccessor(k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeRangeScan1000(b *testing.B) {
+	tr := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(99000)
+		c, err := tr.Seek(intKey(lo), intKey(lo+1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, _, ok, err := c.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkBTreeEstimateRange(b *testing.B) {
+	tr := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(90000)
+		if _, err := tr.EstimateRange(intKey(lo), intKey(lo+5000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeCountRange(b *testing.B) {
+	tr := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(90000)
+		if _, err := tr.CountRange(intKey(lo), intKey(lo+5000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeRankedSample(b *testing.B) {
+	tr := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.EntryAt(rng.Int63n(tr.Len())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package btree implements a B+-tree index over buffer-pool pages.
+//
+// The tree is the workhorse of the reproduction: beyond Insert/Delete
+// and range cursors it exposes exactly the introspection the paper's
+// dynamic optimizer needs —
+//
+//   - EstimateRange: the "descent to split node" estimator of Section 5
+//     (k * f^(l-1), with the B-tree itself acting as a hierarchical,
+//     always-up-to-date histogram);
+//   - CountRange: exact range cardinality in O(height), possible because
+//     internal nodes carry per-child subtree counts ("pseudo-ranked");
+//   - SampleRange: uniform random sampling of range entries by ranked
+//     descent, standing in for the [Ant92] sampler, plus the classic
+//     acceptance/rejection sampler of [OlRo89] as a baseline.
+//
+// Every node visit goes through the buffer pool and is therefore charged
+// I/O, so estimation cost is measurable — the paper requires the
+// estimation phase to be "significantly shorter than the productive
+// retrieval phases", and the experiments verify that.
+//
+// Keys are order-preserving encodings (expr.EncodeKey). Duplicate keys
+// are supported; entries order by (key, RID). Deletion is lazy (no
+// rebalancing): emptied leaves remain in the tree and cursors skip them,
+// the common trade-off in production B-trees.
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// ErrKeyTooLarge is returned when a key cannot fit comfortably in a page.
+var ErrKeyTooLarge = errors.New("btree: key too large for page")
+
+// BTree is a B+-tree whose nodes live in buffer-pool pages of a
+// dedicated disk file.
+type BTree struct {
+	pool *storage.BufferPool
+	file storage.FileID // file holding the tree's pages
+	data storage.FileID // heap file the RIDs point into
+
+	root   storage.PageNo
+	height int // 1 = root is a leaf
+
+	len         int64 // total entries
+	numLeaves   int
+	numInternal int
+	totChildren int64 // sum of len(children) over internal nodes
+
+	budget int // per-node byte budget
+
+	// cache holds decoded nodes. Pages remain authoritative (every
+	// mutation re-serializes into the page); the cache only avoids
+	// repeated decoding. I/O accounting happens on the pool.Get that
+	// precedes every cache lookup.
+	cache map[storage.PageNo]*node
+}
+
+// New creates an empty tree on a fresh file of the pool's disk.
+// dataFile is the heap file whose records the RIDs reference.
+func New(pool *storage.BufferPool, dataFile storage.FileID) (*BTree, error) {
+	t := &BTree{
+		pool:   pool,
+		file:   pool.Disk().CreateFile(),
+		data:   dataFile,
+		budget: pool.Disk().PageSize() - 32,
+		cache:  make(map[storage.PageNo]*node),
+	}
+	root := &node{leaf: true}
+	root.recomputeBytes()
+	no, err := t.allocNode(root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = no
+	t.height = 1
+	t.numLeaves = 1
+	return t, nil
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int64 { return t.len }
+
+// Height returns the number of levels (1 = root is a leaf).
+func (t *BTree) Height() int { return t.height }
+
+// NumNodes returns the number of pages (nodes) in the tree.
+func (t *BTree) NumNodes() int { return t.numLeaves + t.numInternal }
+
+// File returns the tree's disk file.
+func (t *BTree) File() storage.FileID { return t.file }
+
+// AvgLeafEntries returns the average number of entries per leaf.
+func (t *BTree) AvgLeafEntries() float64 {
+	if t.numLeaves == 0 {
+		return 0
+	}
+	return float64(t.len) / float64(t.numLeaves)
+}
+
+// AvgInternalFanout returns the average child count of internal nodes,
+// or 0 when the tree has no internal nodes.
+func (t *BTree) AvgInternalFanout() float64 {
+	if t.numInternal == 0 {
+		return 0
+	}
+	return float64(t.totChildren) / float64(t.numInternal)
+}
+
+// load fetches a node, charging buffer-pool traffic.
+func (t *BTree) load(no storage.PageNo) (*node, error) {
+	p, err := t.pool.Get(storage.PageID{File: t.file, No: no})
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := t.cache[no]; ok {
+		return n, nil
+	}
+	blob, err := p.Get(0)
+	if err != nil {
+		return nil, fmt.Errorf("btree: node page %d has no blob: %w", no, err)
+	}
+	n, err := decodeNode(blob, t.data)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[no] = n
+	return n, nil
+}
+
+// store serializes the node back into its page and marks it dirty.
+func (t *BTree) store(no storage.PageNo, n *node) error {
+	p, err := t.pool.GetDirty(storage.PageID{File: t.file, No: no})
+	if err != nil {
+		return err
+	}
+	if err := p.Update(0, n.encode()); err != nil {
+		return fmt.Errorf("btree: node %d overflow: %w", no, err)
+	}
+	t.cache[no] = n
+	return nil
+}
+
+// allocNode places a new node on a fresh page.
+func (t *BTree) allocNode(n *node) (storage.PageNo, error) {
+	p, err := t.pool.NewPage(t.file)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.Insert(n.encode()); err != nil {
+		return 0, err
+	}
+	t.cache[p.ID.No] = n
+	return p.ID.No, nil
+}
+
+// cmpEntry orders composite entries (key, rid).
+func cmpEntry(k1 []byte, r1 storage.RID, k2 []byte, r2 storage.RID) int {
+	if c := expr.CompareKeys(k1, k2); c != 0 {
+		return c
+	}
+	return r1.Compare(r2)
+}
+
+// findChild returns the child of internal node n that may contain the
+// composite entry (k, r): the number of separators <= (k, r).
+func findChild(n *node, k []byte, r storage.RID) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntry(n.keys[mid], n.rids[mid], k, r) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafLowerBound returns the position of the first entry >= (k, r).
+func leafLowerBound(n *node, k []byte, r storage.RID) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpEntry(n.keys[mid], n.rids[mid], k, r) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+type splitResult struct {
+	sepKey     []byte
+	sepRID     storage.RID
+	right      storage.PageNo
+	rightCount int64
+}
+
+// Insert adds the entry (key, rid). Duplicate keys are allowed; the
+// exact pair (key, rid) may appear multiple times, but indexes in this
+// repository never insert the same pair twice.
+func (t *BTree) Insert(key []byte, rid storage.RID) error {
+	if len(key) > t.budget/4 {
+		return ErrKeyTooLarge
+	}
+	sp, err := t.insertAt(t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	t.len++
+	if sp == nil {
+		return nil
+	}
+	// Root split: grow a new root.
+	oldRoot := t.root
+	leftCount := t.mustSubtreeCount(oldRoot)
+	nr := &node{
+		leaf:     false,
+		keys:     [][]byte{sp.sepKey},
+		rids:     []storage.RID{sp.sepRID},
+		children: []storage.PageNo{oldRoot, sp.right},
+		counts:   []int64{leftCount, sp.rightCount},
+	}
+	nr.recomputeBytes()
+	no, err := t.allocNode(nr)
+	if err != nil {
+		return err
+	}
+	t.root = no
+	t.height++
+	t.numInternal++
+	t.totChildren += 2
+	return nil
+}
+
+func (t *BTree) mustSubtreeCount(no storage.PageNo) int64 {
+	n, err := t.load(no)
+	if err != nil {
+		return 0
+	}
+	return n.subtreeCount()
+}
+
+func (t *BTree) insertAt(no storage.PageNo, key []byte, rid storage.RID) (*splitResult, error) {
+	n, err := t.load(no)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		pos := leafLowerBound(n, key, rid)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[pos+1:], n.keys[pos:])
+		n.keys[pos] = append([]byte(nil), key...)
+		n.rids = append(n.rids, storage.RID{})
+		copy(n.rids[pos+1:], n.rids[pos:])
+		n.rids[pos] = rid
+		n.bytes += n.entryBytes(key)
+		if n.bytes <= t.budget {
+			return nil, t.store(no, n)
+		}
+		return t.splitLeaf(no, n)
+	}
+	i := findChild(n, key, rid)
+	sp, err := t.insertAt(n.children[i], key, rid)
+	if err != nil {
+		return nil, err
+	}
+	if sp == nil {
+		n.counts[i]++
+		return nil, t.store(no, n)
+	}
+	// Child i split: it kept (old+1-rightCount) entries.
+	n.counts[i] = n.counts[i] + 1 - sp.rightCount
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sp.sepKey
+	n.rids = append(n.rids, storage.RID{})
+	copy(n.rids[i+1:], n.rids[i:])
+	n.rids[i] = sp.sepRID
+	n.children = append(n.children, 0)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = sp.right
+	n.counts = append(n.counts, 0)
+	copy(n.counts[i+2:], n.counts[i+1:])
+	n.counts[i+1] = sp.rightCount
+	n.bytes += n.entryBytes(sp.sepKey)
+	t.totChildren++
+	if n.bytes <= t.budget {
+		return nil, t.store(no, n)
+	}
+	return t.splitInternal(no, n)
+}
+
+func (t *BTree) splitLeaf(no storage.PageNo, n *node) (*splitResult, error) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		rids: append([]storage.RID(nil), n.rids[mid:]...),
+		next: n.next,
+	}
+	right.recomputeBytes()
+	n.keys = n.keys[:mid]
+	n.rids = n.rids[:mid]
+	n.recomputeBytes()
+	rightNo, err := t.allocNode(right)
+	if err != nil {
+		return nil, err
+	}
+	n.next = uint32(rightNo) + 1
+	if err := t.store(no, n); err != nil {
+		return nil, err
+	}
+	t.numLeaves++
+	return &splitResult{
+		sepKey:     right.keys[0],
+		sepRID:     right.rids[0],
+		right:      rightNo,
+		rightCount: int64(len(right.keys)),
+	}, nil
+}
+
+func (t *BTree) splitInternal(no storage.PageNo, n *node) (*splitResult, error) {
+	mid := len(n.keys) / 2
+	sepKey, sepRID := n.keys[mid], n.rids[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		rids:     append([]storage.RID(nil), n.rids[mid+1:]...),
+		children: append([]storage.PageNo(nil), n.children[mid+1:]...),
+		counts:   append([]int64(nil), n.counts[mid+1:]...),
+	}
+	right.recomputeBytes()
+	n.keys = n.keys[:mid]
+	n.rids = n.rids[:mid]
+	n.children = n.children[:mid+1]
+	n.counts = n.counts[:mid+1]
+	n.recomputeBytes()
+	rightNo, err := t.allocNode(right)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.store(no, n); err != nil {
+		return nil, err
+	}
+	t.numInternal++
+	return &splitResult{
+		sepKey:     sepKey,
+		sepRID:     sepRID,
+		right:      rightNo,
+		rightCount: right.subtreeCount(),
+	}, nil
+}
+
+// Delete removes the exact entry (key, rid). It returns false when the
+// entry is not present. Deletion is lazy: nodes are never merged.
+func (t *BTree) Delete(key []byte, rid storage.RID) (bool, error) {
+	del, err := t.deleteAt(t.root, key, rid)
+	if err != nil {
+		return false, err
+	}
+	if del {
+		t.len--
+	}
+	return del, nil
+}
+
+func (t *BTree) deleteAt(no storage.PageNo, key []byte, rid storage.RID) (bool, error) {
+	n, err := t.load(no)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		pos := leafLowerBound(n, key, rid)
+		if pos >= len(n.keys) || cmpEntry(n.keys[pos], n.rids[pos], key, rid) != 0 {
+			return false, nil
+		}
+		n.bytes -= n.entryBytes(n.keys[pos])
+		n.keys = append(n.keys[:pos], n.keys[pos+1:]...)
+		n.rids = append(n.rids[:pos], n.rids[pos+1:]...)
+		return true, t.store(no, n)
+	}
+	i := findChild(n, key, rid)
+	del, err := t.deleteAt(n.children[i], key, rid)
+	if err != nil || !del {
+		return del, err
+	}
+	n.counts[i]--
+	return true, t.store(no, n)
+}
+
+// Contains reports whether the exact entry (key, rid) is present.
+func (t *BTree) Contains(key []byte, rid storage.RID) (bool, error) {
+	no := t.root
+	for {
+		n, err := t.load(no)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf {
+			pos := leafLowerBound(n, key, rid)
+			return pos < len(n.keys) && cmpEntry(n.keys[pos], n.rids[pos], key, rid) == 0, nil
+		}
+		no = n.children[findChild(n, key, rid)]
+	}
+}

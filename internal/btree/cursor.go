@@ -1,0 +1,80 @@
+package btree
+
+import (
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// Cursor iterates entries in ascending (key, RID) order between an
+// inclusive lower and exclusive upper encoded-key bound (nil = open).
+// Every node and leaf visit is charged to the buffer pool, so cursor
+// progress has measurable I/O cost.
+type Cursor struct {
+	tree *BTree
+	hi   []byte
+	node *node
+	no   storage.PageNo
+	pos  int
+	done bool
+}
+
+// Seek positions a cursor at the first entry with key >= lo (or the
+// first entry overall when lo is nil). hi is the exclusive upper bound
+// on keys (nil = unbounded).
+func (t *BTree) Seek(lo, hi []byte) (*Cursor, error) {
+	c := &Cursor{tree: t, hi: hi}
+	no := t.root
+	for {
+		n, err := t.load(no)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			c.node, c.no = n, no
+			if lo == nil {
+				c.pos = 0
+			} else {
+				c.pos = leafLowerBound(n, lo, storage.RID{})
+			}
+			return c, nil
+		}
+		if lo == nil {
+			no = n.children[0]
+		} else {
+			no = n.children[findChild(n, lo, storage.RID{})]
+		}
+	}
+}
+
+// Next returns the next entry. ok is false when the cursor is
+// exhausted (past hi or at the end of the tree). The returned key is
+// the tree's internal copy and must not be modified.
+func (c *Cursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
+	if c.done {
+		return nil, storage.RID{}, false, nil
+	}
+	for {
+		if c.pos < len(c.node.keys) {
+			k, r := c.node.keys[c.pos], c.node.rids[c.pos]
+			if c.hi != nil && expr.CompareKeys(k, c.hi) >= 0 {
+				c.done = true
+				return nil, storage.RID{}, false, nil
+			}
+			c.pos++
+			return k, r, true, nil
+		}
+		if c.node.next == 0 {
+			c.done = true
+			return nil, storage.RID{}, false, nil
+		}
+		next := storage.PageNo(c.node.next - 1)
+		n, err := c.tree.load(next)
+		if err != nil {
+			return nil, storage.RID{}, false, err
+		}
+		c.node, c.no, c.pos = n, next, 0
+	}
+}
+
+// Done reports whether the cursor has been exhausted.
+func (c *Cursor) Done() bool { return c.done }

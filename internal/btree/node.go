@@ -1,0 +1,215 @@
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"rdbdyn/internal/storage"
+)
+
+// ErrCorruptNode is returned when a stored node blob cannot be decoded.
+var ErrCorruptNode = errors.New("btree: corrupt node")
+
+// node is the decoded form of one B+-tree page.
+//
+// Leaf nodes hold (key, rid) entries sorted by the composite order
+// (CompareKeys on key, then RID order); duplicates of the same key are
+// distinguished by RID. Internal nodes hold separators (also composite
+// (key, rid) pairs), child page numbers, and per-child subtree entry
+// counts. The counts make the tree "pseudo-ranked": exact range counts
+// and uniform random sampling both become O(height) descents, which is
+// what the [Ant92]-style sampler in this package relies on.
+type node struct {
+	leaf bool
+
+	// Entry keys. For leaves these are the indexed keys; for internal
+	// nodes they are separators: child i holds entries in
+	// [sep[i-1], sep[i]) under the composite order.
+	keys []([]byte)
+	rids []storage.RID
+
+	// Leaf only: next sibling page number + 1 (0 = last leaf).
+	next uint32
+
+	// Internal only: len(children) == len(keys)+1, counts parallel.
+	children []storage.PageNo
+	counts   []int64
+
+	// bytes is the serialized size estimate, maintained incrementally.
+	bytes int
+}
+
+const (
+	nodeBaseBytes     = 16
+	leafEntryOverhead = 4 + 6  // varint key length + encoded RID
+	sepEntryOverhead  = 4 + 18 // varint key length + RID + child + count
+)
+
+func (n *node) entryBytes(key []byte) int {
+	if n.leaf {
+		return leafEntryOverhead + len(key)
+	}
+	return sepEntryOverhead + len(key)
+}
+
+// full reports whether adding key would overflow the page byte budget.
+func (n *node) full(key []byte, budget int) bool {
+	return n.bytes+n.entryBytes(key) > budget
+}
+
+// recomputeBytes recalculates the serialized size from scratch (used
+// after splits).
+func (n *node) recomputeBytes() {
+	b := nodeBaseBytes
+	for _, k := range n.keys {
+		b += n.entryBytes(k)
+	}
+	n.bytes = b
+}
+
+// subtreeCount returns the number of entries under the node: for a leaf
+// its own entries, for an internal node the sum of child counts.
+func (n *node) subtreeCount() int64 {
+	if n.leaf {
+		return int64(len(n.keys))
+	}
+	var s int64
+	for _, c := range n.counts {
+		s += c
+	}
+	return s
+}
+
+func appendRID(dst []byte, r storage.RID) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Page.No))
+	return binary.BigEndian.AppendUint16(dst, r.Slot)
+}
+
+func decodeRID(b []byte, file storage.FileID) (storage.RID, []byte, error) {
+	if len(b) < 6 {
+		return storage.RID{}, nil, ErrCorruptNode
+	}
+	r := storage.RID{
+		Page: storage.PageID{File: file, No: storage.PageNo(binary.BigEndian.Uint32(b))},
+		Slot: binary.BigEndian.Uint16(b[4:]),
+	}
+	return r, b[6:], nil
+}
+
+// encode serializes the node into a blob stored in slot 0 of its page.
+// ridFile is the heap file RIDs point into (RIDs store only page+slot).
+func (n *node) encode() []byte {
+	buf := make([]byte, 0, n.bytes)
+	flags := byte(0)
+	if n.leaf {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(n.keys)))
+	if n.leaf {
+		buf = binary.AppendUvarint(buf, uint64(n.next))
+		for i, k := range n.keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			buf = appendRID(buf, n.rids[i])
+		}
+		return buf
+	}
+	for i, c := range n.children {
+		buf = binary.AppendUvarint(buf, uint64(c))
+		buf = binary.AppendVarint(buf, n.counts[i])
+		if i < len(n.keys) {
+			buf = binary.AppendUvarint(buf, uint64(len(n.keys[i])))
+			buf = append(buf, n.keys[i]...)
+			buf = appendRID(buf, n.rids[i])
+		}
+	}
+	return buf
+}
+
+// decodeNode parses a node blob. ridFile re-fills the file component of
+// decoded RIDs.
+func decodeNode(b []byte, ridFile storage.FileID) (*node, error) {
+	if len(b) < 2 {
+		return nil, ErrCorruptNode
+	}
+	n := &node{leaf: b[0] == 1}
+	b = b[1:]
+	cnt, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, ErrCorruptNode
+	}
+	b = b[k:]
+	if n.leaf {
+		nx, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, ErrCorruptNode
+		}
+		b = b[k:]
+		n.next = uint32(nx)
+		n.keys = make([][]byte, 0, cnt)
+		n.rids = make([]storage.RID, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			kl, k := binary.Uvarint(b)
+			if k <= 0 || uint64(len(b)-k) < kl {
+				return nil, ErrCorruptNode
+			}
+			b = b[k:]
+			key := make([]byte, kl)
+			copy(key, b[:kl])
+			b = b[kl:]
+			var (
+				r   storage.RID
+				err error
+			)
+			if r, b, err = decodeRID(b, ridFile); err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, key)
+			n.rids = append(n.rids, r)
+		}
+	} else {
+		n.children = make([]storage.PageNo, 0, cnt+1)
+		n.counts = make([]int64, 0, cnt+1)
+		n.keys = make([][]byte, 0, cnt)
+		n.rids = make([]storage.RID, 0, cnt)
+		for i := uint64(0); i <= cnt; i++ {
+			c, k := binary.Uvarint(b)
+			if k <= 0 {
+				return nil, ErrCorruptNode
+			}
+			b = b[k:]
+			sz, k := binary.Varint(b)
+			if k <= 0 {
+				return nil, ErrCorruptNode
+			}
+			b = b[k:]
+			n.children = append(n.children, storage.PageNo(c))
+			n.counts = append(n.counts, sz)
+			if i < cnt {
+				kl, k := binary.Uvarint(b)
+				if k <= 0 || uint64(len(b)-k) < kl {
+					return nil, ErrCorruptNode
+				}
+				b = b[k:]
+				key := make([]byte, kl)
+				copy(key, b[:kl])
+				b = b[kl:]
+				var (
+					r   storage.RID
+					err error
+				)
+				if r, b, err = decodeRID(b, ridFile); err != nil {
+					return nil, err
+				}
+				n.keys = append(n.keys, key)
+				n.rids = append(n.rids, r)
+			}
+		}
+	}
+	if len(b) != 0 {
+		return nil, ErrCorruptNode
+	}
+	n.recomputeBytes()
+	return n, nil
+}

@@ -1,0 +1,121 @@
+package btree
+
+import (
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// ReverseCursor iterates entries in descending (key, RID) order between
+// an inclusive lower and exclusive upper encoded-key bound. Leaves are
+// singly linked forward, so the cursor keeps the root-to-leaf descent
+// path and retreats through it to reach each previous leaf — O(height)
+// page accesses per leaf transition, all charged to the buffer pool.
+//
+// Descending scans are what make "ORDER BY ... DESC" an order-needed
+// use of an ascending index.
+type ReverseCursor struct {
+	tree  *BTree
+	lo    []byte
+	stack []revFrame
+	node  *node
+	pos   int
+	done  bool
+}
+
+type revFrame struct {
+	no  storage.PageNo
+	idx int
+}
+
+// SeekReverse positions a cursor at the last entry with key < hi (or
+// the last entry overall when hi is nil). lo is the inclusive lower
+// bound on keys (nil = unbounded).
+func (t *BTree) SeekReverse(lo, hi []byte) (*ReverseCursor, error) {
+	c := &ReverseCursor{tree: t, lo: lo}
+	no := t.root
+	for {
+		n, err := t.load(no)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			c.node = n
+			if hi == nil {
+				c.pos = len(n.keys) - 1
+			} else {
+				c.pos = leafLowerBound(n, hi, storage.RID{}) - 1
+			}
+			if c.pos < 0 {
+				if err := c.retreat(); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		}
+		idx := len(n.children) - 1
+		if hi != nil {
+			idx = findChild(n, hi, storage.RID{})
+		}
+		c.stack = append(c.stack, revFrame{no: no, idx: idx})
+		no = n.children[idx]
+	}
+}
+
+// retreat moves to the last entry of the previous leaf.
+func (c *ReverseCursor) retreat() error {
+	for {
+		// Pop exhausted frames.
+		for len(c.stack) > 0 && c.stack[len(c.stack)-1].idx == 0 {
+			c.stack = c.stack[:len(c.stack)-1]
+		}
+		if len(c.stack) == 0 {
+			c.done = true
+			return nil
+		}
+		c.stack[len(c.stack)-1].idx--
+		// Descend rightmost from the new child.
+		f := c.stack[len(c.stack)-1]
+		parent, err := c.tree.load(f.no)
+		if err != nil {
+			return err
+		}
+		no := parent.children[f.idx]
+		for {
+			n, err := c.tree.load(no)
+			if err != nil {
+				return err
+			}
+			if n.leaf {
+				c.node = n
+				c.pos = len(n.keys) - 1
+				break
+			}
+			c.stack = append(c.stack, revFrame{no: no, idx: len(n.children) - 1})
+			no = n.children[len(n.children)-1]
+		}
+		if c.pos >= 0 {
+			return nil
+		}
+		// Empty leaf (lazy deletion): keep retreating.
+	}
+}
+
+// Next returns the next entry in descending order; ok is false when the
+// cursor passes below lo or exhausts the tree.
+func (c *ReverseCursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
+	if c.done {
+		return nil, storage.RID{}, false, nil
+	}
+	k, r := c.node.keys[c.pos], c.node.rids[c.pos]
+	if c.lo != nil && expr.CompareKeys(k, c.lo) < 0 {
+		c.done = true
+		return nil, storage.RID{}, false, nil
+	}
+	c.pos--
+	if c.pos < 0 {
+		if err := c.retreat(); err != nil {
+			return nil, storage.RID{}, false, err
+		}
+	}
+	return k, r, true, nil
+}

@@ -1,0 +1,139 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdbdyn/internal/expr"
+)
+
+func reverseScan(t *testing.T, tr *BTree, lo, hi []byte) []int64 {
+	t.Helper()
+	c, err := tr.SeekReverse(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int64
+	for {
+		k, _, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		row, err := expr.DecodeKey(k, []expr.Type{expr.TypeInt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row[0].I)
+	}
+}
+
+func TestReverseFullScanMirrorsForward(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	rng := rand.New(rand.NewSource(2))
+	var vals []int64
+	for i := 0; i < 3000; i++ {
+		vals = append(vals, rng.Int63n(5000))
+	}
+	insertInts(t, tr, vals)
+	fwd := scanAll(t, tr)
+	rev := reverseScan(t, tr, nil, nil)
+	if len(rev) != len(fwd) {
+		t.Fatalf("reverse saw %d entries, forward %d", len(rev), len(fwd))
+	}
+	for i := range rev {
+		if rev[i] != fwd[len(fwd)-1-i] {
+			t.Fatalf("mirror broken at %d: %d vs %d", i, rev[i], fwd[len(fwd)-1-i])
+		}
+	}
+}
+
+func TestReverseRangeBounds(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i)
+	}
+	insertInts(t, tr, vals)
+	r := expr.Range{
+		Lo: expr.Bound{Value: expr.Int(100), Inclusive: true, Present: true},
+		Hi: expr.Bound{Value: expr.Int(200), Present: true},
+	}
+	lo, hi := r.EncodedBounds()
+	got := reverseScan(t, tr, lo, hi)
+	if len(got) != 100 {
+		t.Fatalf("range returned %d entries, want 100", len(got))
+	}
+	if got[0] != 199 || got[len(got)-1] != 100 {
+		t.Fatalf("range edges: %d .. %d", got[0], got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+}
+
+func TestReverseEmptyAndMissResults(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	// Empty tree.
+	if got := reverseScan(t, tr, nil, nil); len(got) != 0 {
+		t.Fatalf("empty tree returned %d entries", len(got))
+	}
+	insertInts(t, tr, []int64{10, 20, 30})
+	// Range below all keys.
+	r := expr.Range{Hi: expr.Bound{Value: expr.Int(5), Present: true}}
+	_, hi := r.EncodedBounds()
+	if got := reverseScan(t, tr, nil, hi); len(got) != 0 {
+		t.Fatalf("below-all range returned %v", got)
+	}
+	// Range above all keys returns everything, descending.
+	r2 := expr.Range{Lo: expr.Bound{Value: expr.Int(0), Inclusive: true, Present: true}}
+	lo, _ := r2.EncodedBounds()
+	if got := reverseScan(t, tr, lo, nil); len(got) != 3 || got[0] != 30 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReverseSurvivesLazyDeletion(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	var vals []int64
+	for i := int64(0); i < 2000; i++ {
+		vals = append(vals, i)
+	}
+	insertInts(t, tr, vals)
+	// Empty out a band of leaves in the middle.
+	for i := int64(500); i < 1500; i++ {
+		if ok, err := tr.Delete(intKey(i), ridFor(int(i))); err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	got := reverseScan(t, tr, nil, nil)
+	if len(got) != 1000 {
+		t.Fatalf("reverse saw %d entries, want 1000", len(got))
+	}
+	if got[0] != 1999 || got[len(got)-1] != 0 {
+		t.Fatalf("edges: %d .. %d", got[0], got[len(got)-1])
+	}
+	// The deleted band must not appear.
+	for _, v := range got {
+		if v >= 500 && v < 1500 {
+			t.Fatalf("deleted key %d surfaced", v)
+		}
+	}
+}
+
+func TestReverseDuplicates(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(intKey(5), ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := reverseScan(t, tr, nil, nil)
+	if len(got) != 300 {
+		t.Fatalf("duplicates: %d", len(got))
+	}
+}

@@ -1,0 +1,419 @@
+// Package catalog defines tables, columns, and index metadata, and keeps
+// heap files and B-tree indexes consistent under inserts and deletes.
+//
+// The catalog is also where the paper's per-query index classification
+// (Section 4) gets its raw material: an index is *self-sufficient* for a
+// query when its key columns cover every column the query touches,
+// *order-needed* when its leading columns deliver the requested order,
+// and *fetch-needed* otherwise.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// Errors returned by the catalog.
+var (
+	ErrDuplicateTable = errors.New("catalog: table already exists")
+	ErrNoSuchTable    = errors.New("catalog: no such table")
+	ErrDuplicateIndex = errors.New("catalog: index already exists")
+	ErrNoSuchColumn   = errors.New("catalog: no such column")
+	ErrArity          = errors.New("catalog: row arity mismatch")
+	ErrType           = errors.New("catalog: value type mismatch")
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type expr.Type
+}
+
+// Catalog is the schema registry of one database.
+type Catalog struct {
+	pool   *storage.BufferPool
+	tables map[string]*Table
+}
+
+// New creates an empty catalog over a buffer pool.
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+}
+
+// Pool returns the buffer pool the catalog's objects live on.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// CreateTable registers a new table with the given columns.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateTable, name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %s has no columns", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if col.Name == "" || seen[col.Name] {
+			return nil, fmt.Errorf("catalog: bad column name %q in %s", col.Name, name)
+		}
+		seen[col.Name] = true
+	}
+	t := &Table{
+		Name:    name,
+		Columns: append([]Column(nil), cols...),
+		Heap:    storage.NewHeapFile(c.pool),
+		pool:    c.pool,
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns all table names.
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Table is a named relation: a heap file plus its indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	Heap    *storage.HeapFile
+	Indexes []*Index
+
+	pool *storage.BufferPool
+}
+
+// ColumnIndex returns the position of the named column.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, name)
+}
+
+// Cardinality returns the number of live rows.
+func (t *Table) Cardinality() int64 { return t.Heap.Count() }
+
+// Pool returns the buffer pool the table's pages live on.
+func (t *Table) Pool() *storage.BufferPool { return t.pool }
+
+// Pages returns the number of heap pages — the cost of a full Tscan.
+func (t *Table) Pages() int { return t.Heap.NumPages() }
+
+// checkRow validates arity and types (NULL is allowed anywhere).
+func (t *Table) checkRow(row expr.Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrArity, len(row), len(t.Columns))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.T != t.Columns[i].Type {
+			return fmt.Errorf("%w: column %s wants %s, got %s",
+				ErrType, t.Columns[i].Name, t.Columns[i].Type, v.T)
+		}
+	}
+	return nil
+}
+
+// Insert stores a row and maintains every index. It returns the row's
+// RID.
+func (t *Table) Insert(row expr.Row) (storage.RID, error) {
+	if err := t.checkRow(row); err != nil {
+		return storage.RID{}, err
+	}
+	rid, err := t.Heap.Insert(expr.EncodeRow(row))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.KeyFor(row), rid); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: index %s: %w", ix.Name, err)
+		}
+	}
+	return rid, nil
+}
+
+// Fetch reads and decodes the row at rid.
+func (t *Table) Fetch(rid storage.RID) (expr.Row, error) {
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return expr.DecodeRow(rec)
+}
+
+// Update replaces the row at rid, maintaining every index whose key
+// changes. The new row must satisfy the table's types and fit in the
+// page (records in this simulator are similar sizes, so in-place update
+// virtually always fits; a genuine overflow surfaces as an error).
+func (t *Table) Update(rid storage.RID, newRow expr.Row) error {
+	if err := t.checkRow(newRow); err != nil {
+		return err
+	}
+	oldRow, err := t.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	p, err := t.pool.GetDirty(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Update(rid.Slot, expr.EncodeRow(newRow)); err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		oldKey, newKey := ix.KeyFor(oldRow), ix.KeyFor(newRow)
+		if expr.CompareKeys(oldKey, newKey) == 0 {
+			continue
+		}
+		if _, err := ix.Tree.Delete(oldKey, rid); err != nil {
+			return fmt.Errorf("catalog: index %s: %w", ix.Name, err)
+		}
+		if err := ix.Tree.Insert(newKey, rid); err != nil {
+			return fmt.Errorf("catalog: index %s: %w", ix.Name, err)
+		}
+	}
+	return nil
+}
+
+// Delete removes the row at rid from the heap and all indexes.
+func (t *Table) Delete(rid storage.RID) error {
+	row, err := t.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		if _, err := ix.Tree.Delete(ix.KeyFor(row), rid); err != nil {
+			return fmt.Errorf("catalog: index %s: %w", ix.Name, err)
+		}
+	}
+	return t.Heap.Delete(rid)
+}
+
+// CreateIndex builds a B-tree index over the named columns, populating
+// it from existing rows.
+func (t *Table) CreateIndex(name string, colNames ...string) (*Index, error) {
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateIndex, name)
+		}
+	}
+	if len(colNames) == 0 {
+		return nil, fmt.Errorf("catalog: index %s has no columns", name)
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		ci, err := t.ColumnIndex(cn)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = ci
+	}
+	tree, err := btree.New(t.pool, t.Heap.File())
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Table: t, Cols: cols, Tree: tree}
+	// Backfill from existing rows.
+	c := t.Heap.Cursor()
+	for {
+		rec, rid, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		row, err := expr.DecodeRow(rec)
+		if err != nil {
+			return nil, err
+		}
+		if err := tree.Insert(ix.KeyFor(row), rid); err != nil {
+			return nil, err
+		}
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// Index is a B-tree secondary index over one or more columns.
+type Index struct {
+	Name  string
+	Table *Table
+	Cols  []int // column positions; Cols[0] is the leading column
+	Tree  *btree.BTree
+}
+
+// LeadingCol returns the position of the index's leading column — the
+// column whose restriction range drives the index scan.
+func (ix *Index) LeadingCol() int { return ix.Cols[0] }
+
+// KeyFor encodes the index key of a row.
+func (ix *Index) KeyFor(row expr.Row) []byte {
+	vals := make([]expr.Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		vals[i] = row[c]
+	}
+	return expr.EncodeKey(nil, vals...)
+}
+
+// KeyTypes returns the expected types of the key columns, for DecodeKey.
+func (ix *Index) KeyTypes() []expr.Type {
+	ts := make([]expr.Type, len(ix.Cols))
+	for i, c := range ix.Cols {
+		ts[i] = ix.Table.Columns[c].Type
+	}
+	return ts
+}
+
+// DecodeEntry converts an index entry key back into the key column
+// values, positioned into a full-width row (non-key columns NULL) so
+// restrictions that only touch key columns can be evaluated against it.
+func (ix *Index) DecodeEntry(key []byte) (expr.Row, error) {
+	vals, err := expr.DecodeKey(key, ix.KeyTypes())
+	if err != nil {
+		return nil, err
+	}
+	row := make(expr.Row, len(ix.Table.Columns))
+	for i, c := range ix.Cols {
+		row[c] = vals[i]
+	}
+	return row, nil
+}
+
+// Covers reports whether the index key columns include every column in
+// cols — the self-sufficiency test of Section 4.
+func (ix *Index) Covers(cols []int) bool {
+	for _, c := range cols {
+		found := false
+		for _, k := range ix.Cols {
+			if k == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// DeliversOrder reports whether an ascending scan of the index yields
+// rows ordered by the given column positions — the order-needed test.
+func (ix *Index) DeliversOrder(order []int) bool {
+	if len(order) > len(ix.Cols) {
+		return false
+	}
+	for i, c := range order {
+		if ix.Cols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// RestrictionBounds derives the encoded key bounds an index scan must
+// cover for a restriction under bindings, using as many key columns as
+// the restriction pins: leading columns with point (equality) ranges
+// extend the key prefix, the first column with a broader range
+// contributes its bounds, and later columns are left to per-entry
+// evaluation. It returns lo inclusive / hi exclusive (nil = open), how
+// many conjuncts contributed, and whether the range is provably empty.
+func (ix *Index) RestrictionBounds(e expr.Expr, binds expr.Bindings) (lo, hi []byte, sargable int, empty bool) {
+	var prefix []expr.Value
+	for _, col := range ix.Cols {
+		rg, n := expr.ExtractRange(e, col, binds)
+		if n == 0 {
+			break
+		}
+		sargable += n
+		if rg.Empty() {
+			return nil, nil, sargable, true
+		}
+		if rg.IsPoint() {
+			prefix = append(prefix, rg.Lo.Value)
+			continue
+		}
+		// First non-point column: combine prefix and range bounds.
+		base := expr.EncodeKey(nil, prefix...)
+		if rg.Lo.Present {
+			lo = expr.EncodeKey(append([]byte(nil), base...), rg.Lo.Value)
+			if !rg.Lo.Inclusive {
+				lo = expr.KeySuccessor(lo)
+			}
+		} else if len(prefix) > 0 {
+			lo = base
+		}
+		if rg.Hi.Present {
+			hi = expr.EncodeKey(append([]byte(nil), base...), rg.Hi.Value)
+			if rg.Hi.Inclusive {
+				hi = expr.KeySuccessor(hi)
+			}
+		} else if len(prefix) > 0 {
+			hi = expr.KeySuccessor(base)
+		}
+		return lo, hi, sargable, false
+	}
+	if len(prefix) == 0 {
+		return nil, nil, sargable, false
+	}
+	base := expr.EncodeKey(nil, prefix...)
+	return base, expr.KeySuccessor(base), sargable, false
+}
+
+// EstimateClusterRatio samples consecutive index entries and reports
+// the fraction whose RIDs land on the same or adjacent heap page — the
+// clustering effect of Section 3(b), which "may not be known or may be
+// hard to detect" and is measured here by cheap ranked sampling.
+func (ix *Index) EstimateClusterRatio(rng *rand.Rand, samples int) (float64, error) {
+	n := ix.Tree.Len()
+	if n < 2 {
+		return 1, nil
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	hits := 0
+	for i := 0; i < samples; i++ {
+		r := rng.Int63n(n - 1)
+		_, rid1, err := ix.Tree.EntryAt(r)
+		if err != nil {
+			return 0, err
+		}
+		_, rid2, err := ix.Tree.EntryAt(r + 1)
+		if err != nil {
+			return 0, err
+		}
+		d := int64(rid2.Page.No) - int64(rid1.Page.No)
+		if d < 0 {
+			d = -d
+		}
+		if d <= 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// wideFixture builds a table with wide rows (few rows per page) so
+// selectivities in the percent range behave like the paper's: random
+// fetches genuinely cost pages. Columns: ID (sequential), A, B
+// (uniform [0,10000)), PAD.
+func wideFixture(t testing.TB, n int, indexes ...string) *fixture {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewDisk(4096), 256)
+	cat := catalog.New(pool)
+	tab, err := cat.CreateTable("W", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "A", Type: expr.TypeInt},
+		{Name: "B", Type: expr.TypeInt},
+		{Name: "PAD", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{cat: cat, tab: tab, pool: pool}
+	for _, ix := range indexes {
+		if _, err := tab.CreateIndex("IX_"+ix, strings.Split(ix, "+")...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		row := expr.Row{
+			expr.Int(int64(i)),
+			expr.Int(rng.Int63n(10000)),
+			expr.Int(rng.Int63n(10000)),
+			expr.Str(strings.Repeat("p", 60)),
+		}
+		if _, err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		f.rows = append(f.rows, row)
+	}
+	return f
+}
+
+// TestIndexOnlyJscanWinsAndSscanIsAbandoned forces the index-only
+// competition to resolve in Jscan's favor: a wide covering-index range
+// against a very selective fetch-needed index.
+func TestIndexOnlyJscanWinsAndSscanIsAbandoned(t *testing.T) {
+	f := wideFixture(t, 30000, "A+B", "B")
+	aCol, _ := f.tab.ColumnIndex("A")
+	bCol, _ := f.tab.ColumnIndex("B")
+	q := &Query{
+		Table: f.tab,
+		Restriction: expr.NewAnd(
+			expr.NewCmp(expr.LT, expr.Col(aCol, "A"), expr.Lit(expr.Int(9000))),
+			expr.NewCmp(expr.LT, expr.Col(bCol, "B"), expr.Lit(expr.Int(40))),
+		),
+		Projection: []int{aCol, bCol},
+		Goal:       GoalTotalTime,
+	}
+	o := NewOptimizer(DefaultConfig())
+	rows := o.Run(q)
+	got := drain(t, rows)
+	sameMultiset(t, got, f.naive(t, q), "index-only jscan wins")
+	st := rows.Stats()
+	if st.Tactic != "index-only" {
+		t.Fatalf("tactic = %s (trace %v)", st.Tactic, st.Trace)
+	}
+	abandoned := false
+	for _, tr := range st.Trace {
+		if strings.Contains(tr, "abandoning Sscan") {
+			abandoned = true
+		}
+	}
+	if !abandoned {
+		t.Fatalf("expected the Sscan to be abandoned for the final stage; trace: %v", st.Trace)
+	}
+	if !strings.Contains(st.Strategy, "Fin") {
+		t.Fatalf("strategy %q should include the final stage", st.Strategy)
+	}
+}
+
+// TestJscanMidScanAbandonment forces a sequential Jscan scan to be
+// abandoned by the projection criterion mid-run (not by the pre-check):
+// the first index's estimate is fine but the candidate acceptance rate
+// projects a final cost near the Tscan guarantee.
+func TestJscanMidScanAbandonment(t *testing.T) {
+	f := wideFixture(t, 30000, "A")
+	aCol, _ := f.tab.ColumnIndex("A")
+	// ~28% of rows: the projected final fetch cost saturates the
+	// Cardenas bound and crosses 95% of the Tscan guarantee mid-scan.
+	q := &Query{
+		Table:       f.tab,
+		Restriction: expr.NewCmp(expr.LT, expr.Col(aCol, "A"), expr.Lit(expr.Int(2800))),
+		Goal:        GoalTotalTime,
+	}
+	o := NewOptimizer(DefaultConfig())
+	rows := o.Run(q)
+	got := drain(t, rows)
+	sameMultiset(t, got, f.naive(t, q), "mid-scan abandonment")
+	st := rows.Stats()
+	abandoned := false
+	for _, tr := range st.Trace {
+		if strings.Contains(tr, "abandoning IX_A") {
+			abandoned = true
+		}
+	}
+	if !abandoned {
+		t.Fatalf("expected mid-scan abandonment; trace: %v", st.Trace)
+	}
+	if !strings.Contains(st.Strategy, "Tscan") {
+		t.Fatalf("strategy %q should have switched to Tscan", st.Strategy)
+	}
+}
+
+// TestUnionFastFirstEarlyCloseKillsBackground exercises the uscan
+// bgKill path: the caller closes the retrieval while the union is still
+// scanning.
+func TestUnionFastFirstEarlyCloseKillsBackground(t *testing.T) {
+	f := wideFixture(t, 20000, "A", "B")
+	aCol, _ := f.tab.ColumnIndex("A")
+	bCol, _ := f.tab.ColumnIndex("B")
+	q := &Query{
+		Table: f.tab,
+		Restriction: expr.NewOr(
+			expr.NewCmp(expr.LT, expr.Col(aCol, "A"), expr.Lit(expr.Int(1000))),
+			expr.NewCmp(expr.LT, expr.Col(bCol, "B"), expr.Lit(expr.Int(1000))),
+		),
+		Goal: GoalFastFirst,
+	}
+	o := NewOptimizer(DefaultConfig())
+	rows := o.Run(q)
+	for i := 0; i < 3; i++ {
+		if _, ok, err := rows.Next(); err != nil || !ok {
+			t.Fatalf("pull %d: %v %v", i, ok, err)
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := rows.Next(); ok {
+		t.Fatal("rows after Close")
+	}
+	// The stats must still assemble cleanly.
+	st := rows.Stats()
+	if st.Tactic != "fast-first" {
+		t.Fatalf("tactic = %s", st.Tactic)
+	}
+}
+
+// TestRunFixedThroughCorePackage exercises RunFixed within the core
+// package (frozen strategies are otherwise only tested from planner).
+func TestRunFixedThroughCorePackage(t *testing.T) {
+	f := wideFixture(t, 2000, "A")
+	aCol, _ := f.tab.ColumnIndex("A")
+	q := &Query{
+		Table:       f.tab,
+		Restriction: expr.NewCmp(expr.LT, expr.Col(aCol, "A"), expr.Lit(expr.Int(500))),
+	}
+	for _, s := range []FixedStrategy{
+		{Kind: StrategyTscan},
+		{Kind: StrategyFscan, Index: f.tab.Indexes[0]},
+	} {
+		rows := RunFixed(q, s, DefaultConfig())
+		got := drain(t, rows)
+		sameMultiset(t, got, f.naive(t, q), "fixed "+s.String())
+	}
+	// Goal strings render.
+	for _, g := range []Goal{GoalDefault, GoalFastFirst, GoalTotalTime} {
+		if g.String() == "" {
+			t.Fatal("empty goal string")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package core implements the paper's contribution: the dynamic
+// single-table retrieval optimizer of Rdb/VMS V4.0 (Sections 4–7).
+//
+// A retrieval is organized as a foreground process (Fgr), which delivers
+// records immediately and can complete the whole retrieval by itself,
+// and a background process (Bgr), which runs Jscan — the joint scan of
+// fetch-needed indexes — to produce the shortest possible RID list or to
+// recommend Tscan. A final stage (Fin) runs only upon Bgr completion, as
+// the alternative to Fgr's record delivery. Fgr and Bgr run
+// simultaneously at proportional speeds under a cooperative step
+// scheduler, compete under the criterion of Section 6, and cooperate by
+// exchanging data (Fgr borrows RIDs from Bgr; Fin filters out records
+// Fgr already delivered).
+//
+// Four tactics from Section 7 are implemented:
+//
+//	background-only — total time, fetch-needed indexes only: Jscan + Fin
+//	fast-first      — Fgr borrows RIDs from Jscan and fetches immediately
+//	sorted          — order-needed Fscan in Fgr + filter-producing Jscan in Bgr
+//	index-only      — best Sscan in Fgr racing Jscan in Bgr
+//
+// plus the statically clear cases (no index -> Tscan; a lone
+// self-sufficient index -> Sscan) and the static-threshold Jscan variant
+// of [MoHa90] as an experimental baseline.
+package core
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/competition"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// Goal is the retrieval optimization goal of Section 4.
+type Goal uint8
+
+// Optimization goals. GoalDefault resolves to total-time unless the
+// query plan context dictates otherwise.
+const (
+	GoalDefault Goal = iota
+	GoalFastFirst
+	GoalTotalTime
+)
+
+func (g Goal) String() string {
+	switch g {
+	case GoalFastFirst:
+		return "FAST FIRST"
+	case GoalTotalTime:
+		return "TOTAL TIME"
+	default:
+		return "DEFAULT"
+	}
+}
+
+// ControlNode is the plan node that immediately controls a retrieval
+// node; Section 4 derives the optimization goal from it.
+type ControlNode uint8
+
+// Control node kinds.
+const (
+	ControlNone ControlNode = iota
+	ControlExists
+	ControlLimit
+	ControlSort
+	ControlAggregate
+)
+
+// InferGoal applies Section 4's rule: EXISTS or LIMIT TO control sets
+// fast-first; SORT or aggregate control sets total-time; otherwise the
+// user-specified or default goal applies.
+func InferGoal(control ControlNode, user Goal) Goal {
+	switch control {
+	case ControlExists, ControlLimit:
+		return GoalFastFirst
+	case ControlSort, ControlAggregate:
+		return GoalTotalTime
+	default:
+		if user == GoalDefault {
+			return GoalTotalTime
+		}
+		return user
+	}
+}
+
+// Query is a single-table retrieval request.
+type Query struct {
+	Table       *catalog.Table
+	Restriction expr.Expr     // nil = no restriction
+	Binds       expr.Bindings // host-variable values for this run
+	Projection  []int         // column positions to deliver; nil = all
+	OrderBy     []int         // requested order columns; nil = no order
+	// OrderDesc inverts the requested order to descending (one
+	// direction for the whole ORDER BY).
+	OrderDesc bool
+	Limit     int // deliver at most this many rows; 0 = all
+	Goal      Goal
+	// Control is the controlling plan node, used when Goal is
+	// GoalDefault.
+	Control ControlNode
+}
+
+// EffectiveGoal resolves the query's goal per Section 4.
+func (q *Query) EffectiveGoal() Goal { return InferGoal(q.Control, q.Goal) }
+
+// neededColumns returns the set of columns the query touches: the
+// restriction's columns plus the projection (all columns when the
+// projection is open) plus the order columns.
+func (q *Query) neededColumns() []int {
+	set := map[int]bool{}
+	for _, c := range expr.Columns(q.Restriction) {
+		set[c] = true
+	}
+	if q.Projection == nil {
+		for i := range q.Table.Columns {
+			set[i] = true
+		}
+	} else {
+		for _, c := range q.Projection {
+			set[c] = true
+		}
+	}
+	for _, c := range q.OrderBy {
+		set[c] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Classification sorts a table's indexes into the paper's three roles
+// for one query (Section 4): self-sufficient, order-needed, and
+// fetch-needed. An index can be both order-needed and self-sufficient.
+type Classification struct {
+	SelfSufficient []*catalog.Index
+	OrderNeeded    []*catalog.Index
+	// FetchNeeded are indexes whose leading column carries a sargable
+	// restriction but which cannot deliver the result alone.
+	FetchNeeded []*catalog.Index
+}
+
+// Classify computes the classification under the query's bindings. Only
+// indexes restricted by at least one sargable conjunct on their leading
+// column are useful for Jscan; order-needed indexes are useful even
+// unrestricted.
+func Classify(q *Query) Classification {
+	var cl Classification
+	needed := q.neededColumns()
+	for _, ix := range q.Table.Indexes {
+		lo, hi, n, _ := ix.RestrictionBounds(q.Restriction, q.Binds)
+		restricted := n > 0 && (lo != nil || hi != nil)
+		covers := ix.Covers(needed)
+		ordered := len(q.OrderBy) > 0 && ix.DeliversOrder(q.OrderBy)
+		if covers && (restricted || ordered || q.Restriction == nil) {
+			cl.SelfSufficient = append(cl.SelfSufficient, ix)
+		}
+		if ordered {
+			cl.OrderNeeded = append(cl.OrderNeeded, ix)
+		}
+		if restricted && !covers {
+			cl.FetchNeeded = append(cl.FetchNeeded, ix)
+		}
+	}
+	return cl
+}
+
+// Config tunes the dynamic optimizer.
+type Config struct {
+	// Criterion is the Section 6 strategy-switch rule.
+	Criterion competition.SwitchCriterion
+	// RID sizes the hybrid RID containers.
+	RID rid.Config
+	// FgBufferCap bounds the foreground delivered-RID buffer; overflow
+	// terminates the foreground in favor of the background (Section 7).
+	FgBufferCap int
+	// StepEntries is how many index entries one Jscan/Sscan step
+	// processes; Tscan and Fscan steps are one page / a few fetches.
+	StepEntries int
+	// RaceFactor: two adjacent Jscan indexes whose estimates are
+	// within this factor are scanned simultaneously to resolve their
+	// true order (Section 6's limited reordering). 0 disables racing.
+	RaceFactor float64
+	// StaticThresholds switches Jscan to the [MoHa90] baseline: the
+	// abandonment thresholds are frozen from the initial estimates and
+	// never readjusted to fresher guaranteed-best costs.
+	StaticThresholds bool
+	// DisableCompetition turns off scan abandonment entirely (for
+	// ablation experiments).
+	DisableCompetition bool
+	// ShortRange is the initial-stage shortcut threshold.
+	ShortRange int
+	// PreviousOrder carries the index order the previous run of the
+	// same query found optimal.
+	PreviousOrder []string
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Criterion:   competition.DefaultSwitchCriterion(),
+		RID:         rid.DefaultConfig(),
+		FgBufferCap: 1024,
+		StepEntries: 128,
+		RaceFactor:  2,
+		ShortRange:  20,
+	}
+}
+
+// RetrievalStats describes what a retrieval did.
+type RetrievalStats struct {
+	// Tactic names the arrangement chosen at start-retrieval time.
+	Tactic string
+	// Strategy describes the scans actually used, e.g.
+	// "Jscan(CITY_IX,AGE_IX)+Fin" or "Tscan".
+	Strategy string
+	// IO is the I/O attributable to this retrieval (productive stages).
+	IO storage.IOStats
+	// EstimateIO is the I/O spent by the initial estimation stage.
+	EstimateIO int64
+	// RowsDelivered counts rows handed to the caller.
+	RowsDelivered int
+	// FgRows counts rows delivered by the foreground process.
+	FgRows int
+	// FinalListLen is the length of the background's final RID list
+	// (-1 when the background did not complete).
+	FinalListLen int
+	// Trace records competition decisions in order.
+	Trace []string
+	// WinningOrder is the index order that won, for reuse as
+	// PreviousOrder on the next run.
+	WinningOrder []string
+}
+
+// Rows is the pull-based result iterator every retrieval returns.
+type Rows interface {
+	// Next returns the next result row; ok=false at end of data.
+	Next() (row expr.Row, ok bool, err error)
+	// Close releases resources; safe to call early (the paper's
+	// forceful "close retrieval").
+	Close() error
+	// Stats reports retrieval statistics (valid any time; final after
+	// exhaustion or Close).
+	Stats() RetrievalStats
+}
+
+// errRows is a Rows that fails immediately (used for setup errors that
+// must surface through the iterator contract).
+type errRows struct{ err error }
+
+func (e errRows) Next() (expr.Row, bool, error) { return nil, false, e.err }
+func (e errRows) Close() error                  { return nil }
+func (e errRows) Stats() RetrievalStats         { return RetrievalStats{Tactic: "error"} }
+
+// emptyRows delivers end-of-data at once — the paper's empty-range
+// shortcut ("an empty range detection cancels all retrieval stages and
+// delivers the 'end of data' condition at once").
+type emptyRows struct{ stats RetrievalStats }
+
+func (e *emptyRows) Next() (expr.Row, bool, error) { return nil, false, nil }
+func (e *emptyRows) Close() error                  { return nil }
+func (e *emptyRows) Stats() RetrievalStats         { return e.stats }
+
+// project narrows a row to the query's projection.
+func (q *Query) project(row expr.Row) expr.Row {
+	if q.Projection == nil {
+		return row
+	}
+	out := make(expr.Row, len(q.Projection))
+	for i, c := range q.Projection {
+		out[i] = row[c]
+	}
+	return out
+}
+
+func tracef(st *RetrievalStats, format string, args ...any) {
+	st.Trace = append(st.Trace, fmt.Sprintf(format, args...))
+}

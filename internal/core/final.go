@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// finalStage is Fin: retrieval by a complete RID list, executed only
+// upon background completion as the alternative to foreground delivery.
+// RIDs are fetched in sorted order so "several records on a single page
+// [are accessed] only once, not multiple times as in the case of random
+// fetches", the full restriction is re-evaluated (this absorbs bitmap
+// false positives and non-indexed conjuncts), and records already
+// delivered by the foreground are filtered out via its RID buffer.
+type finalStage struct {
+	q       *Query
+	rids    []storage.RID
+	pos     int
+	exclude *rid.SortedList // foreground-delivered RIDs; may be nil
+	out     *rowQueue
+	m       meter
+	done    bool
+}
+
+func newFinalStage(q *Query, c *rid.Container, delivered []storage.RID, out *rowQueue) (*finalStage, error) {
+	if c == nil {
+		return nil, errors.New("core: final stage without a RID list")
+	}
+	rids, err := c.SortedAll()
+	if err != nil {
+		return nil, err
+	}
+	// Union scans may deliver the same RID through several legs; the
+	// sorted order makes duplicates adjacent.
+	rids = dedupSorted(rids)
+	f := &finalStage{
+		q:    q,
+		rids: rids,
+		out:  out,
+		m:    meter{pool: q.Table.Pool()},
+	}
+	if len(delivered) > 0 {
+		f.exclude = rid.NewSortedList(delivered)
+	}
+	return f, nil
+}
+
+func (f *finalStage) name() string  { return "Fin" }
+func (f *finalStage) cost() float64 { return f.m.cost() }
+
+func (f *finalStage) step() (bool, error) {
+	if f.done {
+		return true, nil
+	}
+	err := f.m.measure(func() error {
+		for fetches := 0; fetches < 4; {
+			if f.pos >= len(f.rids) {
+				f.done = true
+				return nil
+			}
+			r := f.rids[f.pos]
+			f.pos++
+			if f.exclude != nil && f.exclude.MayContain(r) {
+				continue
+			}
+			row, err := f.q.Table.Fetch(r)
+			if err != nil {
+				return err
+			}
+			fetches++
+			keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
+			if err != nil {
+				return err
+			}
+			if keep {
+				f.out.push(f.q.project(row))
+			}
+		}
+		return nil
+	})
+	return f.done, err
+}
+
+// sortRows orders rows by the given column positions ascending (the
+// SORT node the paper's goal-inference rules refer to; used when an
+// order is requested but no order-needed index carries the retrieval).
+func sortRows(rows []expr.Row, by []int, desc bool) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range by {
+			if d := expr.Compare(rows[i][c], rows[j][c]); d != 0 {
+				if desc {
+					return d > 0
+				}
+				return d < 0
+			}
+		}
+		return false
+	})
+}

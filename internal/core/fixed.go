@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+)
+
+// StrategyKind enumerates the fixed (frozen) retrieval strategies a
+// static optimizer can choose among.
+type StrategyKind uint8
+
+// Fixed strategies.
+const (
+	StrategyTscan StrategyKind = iota
+	StrategySscan
+	StrategyFscan
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case StrategyTscan:
+		return "Tscan"
+	case StrategySscan:
+		return "Sscan"
+	case StrategyFscan:
+		return "Fscan"
+	default:
+		return "?"
+	}
+}
+
+// FixedStrategy is a frozen plan: one strategy, one index, no
+// competition, no run-time switching. It is the execution vehicle of
+// the static-optimizer baseline the paper argues against.
+type FixedStrategy struct {
+	Kind  StrategyKind
+	Index *catalog.Index // nil for Tscan
+}
+
+func (s FixedStrategy) String() string {
+	if s.Index != nil {
+		return fmt.Sprintf("%s(%s)", s.Kind, s.Index.Name)
+	}
+	return s.Kind.String()
+}
+
+// RunFixed executes q with the frozen strategy, bypassing all dynamic
+// machinery. The restriction range for index strategies is derived from
+// the current bindings (a frozen plan still sees run-time values — what
+// it cannot do is change strategy).
+//
+// If the query requests an order the strategy does not deliver, the
+// result is materialized and sorted, as a static plan's SORT node
+// would.
+func RunFixed(q *Query, s FixedStrategy, cfg Config) Rows {
+	rows, err := runFixed(q, s, cfg)
+	if err != nil {
+		return errRows{err: err}
+	}
+	return rows
+}
+
+func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
+	if q.Table == nil {
+		return nil, fmt.Errorf("core: query without table")
+	}
+	if err := expr.Validate(q.Restriction); err != nil {
+		return nil, err
+	}
+	// An index delivers the requested order forward; a descending
+	// request is satisfied by scanning the same index in reverse.
+	ordered := len(q.OrderBy) == 0 ||
+		(s.Index != nil && s.Kind != StrategyTscan && s.Index.DeliversOrder(q.OrderBy))
+	run := q
+	if !ordered {
+		inner := *q
+		inner.OrderBy = nil
+		inner.Projection = nil
+		inner.Limit = 0
+		run = &inner
+	}
+	r := &retrieval{q: run, cfg: cfg, out: &rowQueue{}}
+	switch s.Kind {
+	case StrategyTscan:
+		r.tactic = tacticTscan
+		r.fg = newTscan(run, r.out)
+	case StrategySscan:
+		if s.Index == nil {
+			return nil, fmt.Errorf("core: Sscan strategy without index")
+		}
+		lo, hi, _, empty := s.Index.RestrictionBounds(run.Restriction, run.Binds)
+		if empty {
+			return &emptyRows{stats: RetrievalStats{Tactic: "sscan", Strategy: s.String()}}, nil
+		}
+		fg, err := newSscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		r.tactic = tacticSscan
+		r.fg = fg
+	case StrategyFscan:
+		if s.Index == nil {
+			return nil, fmt.Errorf("core: Fscan strategy without index")
+		}
+		lo, hi, _, empty := s.Index.RestrictionBounds(run.Restriction, run.Binds)
+		if empty {
+			return &emptyRows{stats: RetrievalStats{Tactic: "fscan", Strategy: s.String()}}, nil
+		}
+		fg, err := newFscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		r.tactic = tacticFscan
+		r.fg = fg
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", s.Kind)
+	}
+	tracef(&r.st, "fixed plan: %s", s)
+	if ordered {
+		return r, nil
+	}
+	// Materialize and sort.
+	var all []expr.Row
+	for {
+		row, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		all = append(all, row)
+	}
+	sortRows(all, q.OrderBy, q.OrderDesc)
+	st := r.Stats()
+	st.Tactic = "sort(" + st.Tactic + ")"
+	return &sliceRows{q: q, rows: all, st: st}, nil
+}

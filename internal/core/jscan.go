@@ -1,0 +1,517 @@
+package core
+
+import (
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// jscan is the joint scan of fetch-needed indexes (Section 6).
+//
+// Indexes are scanned in the pre-arranged ascending-selectivity order.
+// Each scan produces a RID list (a hybrid container) intersected against
+// the filter of the previously completed list. Scans run under a
+// two-stage competition: at every step the final-stage retrieval cost is
+// projected from the current list and the scan is abandoned when the
+// projection approaches the guaranteed best retrieval cost (initially
+// Tscan, then retrieval by the best complete RID list so far). A direct
+// competition leg also abandons a scan whose own cost starts to
+// dominate the guaranteed best.
+//
+// When the estimates of two adjacent indexes are too close to trust,
+// they are scanned simultaneously within the memory buffer; the first
+// to complete becomes the new list and the loser's partial list is
+// refiltered and continued (Section 6's limited dynamic reordering).
+type jscan struct {
+	q     *Query
+	cfg   Config
+	model estimate.CostModel
+	ests  []estimate.IndexEstimate
+	st    *RetrievalStats
+	m     meter
+
+	idx int // next index position to scan
+
+	// Current sequential scan.
+	cur      *btree.Cursor
+	curIx    *catalog.Index
+	local    expr.Expr
+	list     *rid.Container
+	seen     int
+	rangeEst float64
+	scan0    int64 // meter total at scan start
+
+	// Racing pair, when active.
+	race *raceState
+
+	// Filter and best-so-far state.
+	filter         rid.Filter
+	complete       *rid.Container
+	completeNames  []string
+	guaranteedBest float64
+	tscanCost      float64
+
+	// Borrowing (fast-first foreground).
+	borrow       *ridQueue
+	borrowActive bool
+	// borrowComplete is true when the scan feeding the borrow queue ran
+	// to completion, so the queue carries every candidate RID.
+	borrowComplete bool
+
+	done           bool
+	recommendTscan bool
+
+	// onDone, when set, receives the winning index-order names at
+	// completion (the optimizer reuses them to pre-arrange the next
+	// run's initial stage).
+	onDone func(names []string)
+}
+
+type raceState struct {
+	a, b raceLeg
+}
+
+type raceLeg struct {
+	ix       *catalog.Index
+	cur      *btree.Cursor
+	local    expr.Expr
+	rids     []storage.RID
+	seen     int
+	rangeEst float64
+	cost0    int64
+	done     bool
+	dead     bool // abandoned by competition
+}
+
+func newJscan(q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, st *RetrievalStats) *jscan {
+	j := &jscan{
+		q:              q,
+		cfg:            cfg,
+		model:          model,
+		ests:           ests,
+		st:             st,
+		m:              meter{pool: q.Table.Pool()},
+		filter:         rid.TrueFilter{},
+		guaranteedBest: model.TscanCost(),
+		tscanCost:      model.TscanCost(),
+		borrow:         borrow,
+		borrowActive:   borrow != nil,
+	}
+	return j
+}
+
+func (j *jscan) name() string  { return "Jscan" }
+func (j *jscan) cost() float64 { return j.m.cost() }
+
+// backgroundScan implementation.
+
+func (j *jscan) bgComplete() *rid.Container { return j.complete }
+func (j *jscan) bgNames() []string          { return j.completeNames }
+func (j *jscan) bgRecommendTscan() bool     { return j.recommendTscan }
+
+// bgKill abandons the background: containers are discarded and the scan
+// is marked done.
+func (j *jscan) bgKill() {
+	if j.complete != nil {
+		j.complete.Discard()
+		j.complete = nil
+	}
+	if j.list != nil {
+		j.list.Discard()
+		j.list = nil
+	}
+	j.closeBorrow()
+	j.done = true
+}
+
+// borrowStreamComplete reports whether the borrow queue received every
+// candidate RID (its feeding scan was not abandoned).
+func (j *jscan) borrowStreamComplete() bool { return j.borrowComplete }
+
+func (j *jscan) closeBorrow() {
+	if j.borrowActive {
+		j.borrow.closed = true
+		j.borrowActive = false
+	}
+}
+
+// currentGuaranteedBest returns the cost the competition compares
+// against. In the [MoHa90] static-threshold baseline, it is frozen at
+// the initial Tscan cost and never readjusted to fresher complete-list
+// costs — exactly the limitation the paper calls out.
+func (j *jscan) currentGuaranteedBest() float64 {
+	if j.cfg.StaticThresholds {
+		return j.tscanCost
+	}
+	return j.guaranteedBest
+}
+
+func (j *jscan) step() (bool, error) {
+	if j.done {
+		return true, nil
+	}
+	err := j.m.measure(func() error {
+		if j.race != nil {
+			return j.stepRace()
+		}
+		if j.cur == nil {
+			if !j.startNextScan() {
+				j.finish()
+				return nil
+			}
+		}
+		if j.race != nil {
+			return j.stepRace()
+		}
+		return j.stepSequential()
+	})
+	return j.done, err
+}
+
+// finish concludes the joint scan: the last complete RID list is the
+// outcome, or Tscan optimality is reported when no list survived.
+func (j *jscan) finish() {
+	j.done = true
+	j.closeBorrow()
+	if j.complete == nil {
+		j.recommendTscan = true
+		tracef(j.st, "jscan: no complete RID list, recommending Tscan")
+	} else {
+		tracef(j.st, "jscan: final RID list %d rids via %v", j.complete.Len(), j.completeNames)
+	}
+	if j.onDone != nil {
+		j.onDone(j.completeNames)
+	}
+}
+
+// startNextScan advances to the next worthwhile index and opens its
+// cursor; it returns false when no indexes remain. It may instead start
+// a race when the next two estimates are too close to call.
+func (j *jscan) startNextScan() bool {
+	for j.idx < len(j.ests) {
+		e := j.ests[j.idx]
+		// Pre-check: an index whose scan alone is projected to exceed
+		// the direct-competition limit is skipped outright.
+		scanEst := j.model.LeafPages(e.RIDs, e.Index.Tree.AvgLeafEntries()) + float64(e.Index.Tree.Height())
+		if !j.cfg.DisableCompetition && scanEst >= j.cfg.Criterion.ScanCostFrac*j.currentGuaranteedBest() {
+			tracef(j.st, "jscan: skipping %s (scan est %.0f vs best %.0f)", e.Index.Name, scanEst, j.currentGuaranteedBest())
+			j.idx++
+			continue
+		}
+		// Race the next two when their order is uncertain.
+		if j.cfg.RaceFactor > 0 && j.idx+1 < len(j.ests) {
+			n := j.ests[j.idx+1]
+			if n.RIDs <= j.cfg.RaceFactor*e.RIDs && !e.Exact {
+				if j.startRace(e, n) {
+					j.idx += 2
+					return true
+				}
+			}
+		}
+		if !j.openSequential(e) {
+			j.idx++
+			continue
+		}
+		j.idx++
+		return true
+	}
+	return false
+}
+
+func (j *jscan) openSequential(e estimate.IndexEstimate) bool {
+	cur, err := e.Index.Tree.Seek(e.Lo, e.Hi)
+	if err != nil {
+		return false
+	}
+	j.cur = cur
+	j.curIx = e.Index
+	j.local = localRestriction(j.q.Restriction, e.Index)
+	j.list = rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	j.seen = 0
+	j.rangeEst = e.RIDs
+	if j.rangeEst < 1 {
+		j.rangeEst = 1
+	}
+	j.scan0 = j.m.total()
+	tracef(j.st, "jscan: scanning %s (est %.0f rids)", e.Index.Name, e.RIDs)
+	return true
+}
+
+// stepSequential advances the current single-index scan.
+func (j *jscan) stepSequential() error {
+	for i := 0; i < j.cfg.StepEntries; i++ {
+		key, r, ok, err := j.cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return j.completeScan()
+		}
+		j.seen++
+		keep, err := j.acceptEntry(key, r, j.curIx, j.local, j.filter)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			continue
+		}
+		if err := j.list.Append(r); err != nil {
+			return err
+		}
+		// Borrowing stays open only until the first list completes or
+		// is abandoned, so these RIDs always come from the first scan.
+		if j.borrowActive {
+			j.borrow.push(r)
+		}
+	}
+	// Two-stage competition check.
+	if !j.cfg.DisableCompetition && j.seen >= j.cfg.StepEntries {
+		frac := float64(j.seen) / j.rangeEst
+		if frac > 1 {
+			frac = 1
+		}
+		proj := float64(j.list.Len()) / frac
+		projFinal := j.model.JscanFinalCost(proj)
+		scanCost := float64(j.m.total() - j.scan0)
+		if j.cfg.Criterion.Abandon(projFinal, scanCost, j.currentGuaranteedBest()) {
+			tracef(j.st, "jscan: abandoning %s (proj final %.0f, scan cost %.0f, best %.0f)",
+				j.curIx.Name, projFinal, scanCost, j.currentGuaranteedBest())
+			j.abandonCurrent()
+		}
+	}
+	return nil
+}
+
+// acceptEntry applies the index-local restriction and the previous
+// filter to one index entry.
+func (j *jscan) acceptEntry(key []byte, r storage.RID, ix *catalog.Index, local expr.Expr, filter rid.Filter) (bool, error) {
+	if local != nil {
+		row, err := ix.DecodeEntry(key)
+		if err != nil {
+			return false, err
+		}
+		keep, err := expr.EvalPred(local, row, j.q.Binds)
+		if err != nil {
+			return false, err
+		}
+		if !keep {
+			return false, nil
+		}
+	}
+	if !filter.MayContain(r) {
+		return false, nil
+	}
+	return true, nil
+}
+
+// completeScan adopts or rejects the finished RID list.
+func (j *jscan) completeScan() error {
+	n := j.list.Len()
+	newFinal := j.model.JscanFinalCost(float64(n))
+	if j.curIx != nil {
+		if j.borrowActive {
+			j.borrowComplete = true
+			j.closeBorrow()
+		}
+		if newFinal < j.guaranteedBest {
+			if j.complete != nil {
+				j.complete.Discard()
+			}
+			j.complete = j.list
+			j.completeNames = append(j.completeNames, j.curIx.Name)
+			j.filter = j.list.Filter()
+			j.guaranteedBest = newFinal
+			tracef(j.st, "jscan: %s complete, %d rids, final cost %.0f", j.curIx.Name, n, newFinal)
+		} else {
+			tracef(j.st, "jscan: %s complete but useless (%d rids, final %.0f >= best %.0f)",
+				j.curIx.Name, n, newFinal, j.guaranteedBest)
+			j.list.Discard()
+		}
+	}
+	j.cur = nil
+	j.list = nil
+	if !j.startNextScan() {
+		j.finish()
+	}
+	return nil
+}
+
+// abandonCurrent discards the in-flight scan and moves on.
+func (j *jscan) abandonCurrent() {
+	j.closeBorrow()
+	if j.list != nil {
+		j.list.Discard()
+	}
+	j.cur = nil
+	j.list = nil
+	if !j.startNextScan() {
+		j.finish()
+	}
+}
+
+// startRace opens simultaneous cursors on two adjacent indexes. It
+// returns false when either cursor fails to open (falls back to
+// sequential scanning).
+func (j *jscan) startRace(a, b estimate.IndexEstimate) bool {
+	legA, ok := j.openLeg(a)
+	if !ok {
+		return false
+	}
+	legB, ok := j.openLeg(b)
+	if !ok {
+		return false
+	}
+	j.race = &raceState{a: legA, b: legB}
+	// Racing steals the borrow stream's stability; close it.
+	j.closeBorrow()
+	tracef(j.st, "jscan: racing %s (est %.0f) against %s (est %.0f)", a.Index.Name, a.RIDs, b.Index.Name, b.RIDs)
+	return true
+}
+
+func (j *jscan) openLeg(e estimate.IndexEstimate) (raceLeg, bool) {
+	cur, err := e.Index.Tree.Seek(e.Lo, e.Hi)
+	if err != nil {
+		return raceLeg{}, false
+	}
+	re := e.RIDs
+	if re < 1 {
+		re = 1
+	}
+	return raceLeg{
+		ix:       e.Index,
+		cur:      cur,
+		local:    localRestriction(j.q.Restriction, e.Index),
+		rangeEst: re,
+		cost0:    j.m.total(),
+	}, true
+}
+
+// stepRace advances both racing legs half a step each. The race ends
+// when a leg completes its range (it wins and becomes the list; the
+// loser's partial list is refiltered and continued), when a leg
+// overflows the in-memory budget (the race is called for the other
+// leg), or when competition kills a leg.
+func (j *jscan) stepRace() error {
+	r := j.race
+	half := j.cfg.StepEntries / 2
+	if half < 1 {
+		half = 1
+	}
+	for _, leg := range []*raceLeg{&r.a, &r.b} {
+		if leg.done || leg.dead {
+			continue
+		}
+		for i := 0; i < half; i++ {
+			key, ridv, ok, err := leg.cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				leg.done = true
+				break
+			}
+			leg.seen++
+			keep, err := j.acceptEntry(key, ridv, leg.ix, leg.local, j.filter)
+			if err != nil {
+				return err
+			}
+			if keep {
+				leg.rids = append(leg.rids, ridv)
+			}
+		}
+		// Competition can kill a leg mid-race.
+		if !j.cfg.DisableCompetition && !leg.done && leg.seen >= j.cfg.StepEntries {
+			frac := float64(leg.seen) / leg.rangeEst
+			if frac > 1 {
+				frac = 1
+			}
+			projFinal := j.model.JscanFinalCost(float64(len(leg.rids)) / frac)
+			if j.cfg.Criterion.Abandon(projFinal, float64(j.m.total()-leg.cost0)/2, j.currentGuaranteedBest()) {
+				leg.dead = true
+				tracef(j.st, "jscan: race leg %s abandoned (proj final %.0f)", leg.ix.Name, projFinal)
+			}
+		}
+	}
+	switch {
+	case r.a.done || r.b.done:
+		winner, loser := &r.a, &r.b
+		if r.b.done && !r.a.done {
+			winner, loser = &r.b, &r.a
+		}
+		j.race = nil
+		j.adoptRaceWinner(winner)
+		if !loser.dead {
+			j.continueLoser(loser)
+		} else if j.cur == nil {
+			if !j.startNextScan() {
+				j.finish()
+			}
+		}
+	case r.a.dead && r.b.dead:
+		j.race = nil
+		tracef(j.st, "jscan: both race legs abandoned")
+		if !j.startNextScan() {
+			j.finish()
+		}
+	case len(r.a.rids) >= j.cfg.RID.MemBudget || len(r.b.rids) >= j.cfg.RID.MemBudget:
+		// The race must not continue beyond the memory buffer
+		// (Section 6); call it for the shorter list and continue that
+		// leg sequentially, dropping the other (it will not be
+		// rescanned: its projection was clearly unpromising).
+		keep, drop := &r.a, &r.b
+		if len(r.b.rids) < len(r.a.rids) {
+			keep, drop = &r.b, &r.a
+		}
+		j.race = nil
+		tracef(j.st, "jscan: race hit memory budget, continuing %s, dropping %s", keep.ix.Name, drop.ix.Name)
+		j.continueLoser(keep)
+	}
+	return nil
+}
+
+// adoptRaceWinner turns the winning leg's RIDs into a completed list.
+func (j *jscan) adoptRaceWinner(w *raceLeg) {
+	n := len(w.rids)
+	newFinal := j.model.JscanFinalCost(float64(n))
+	if w.dead || newFinal >= j.guaranteedBest {
+		tracef(j.st, "jscan: race winner %s useless (%d rids)", w.ix.Name, n)
+		return
+	}
+	c := rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	for _, r := range w.rids {
+		if err := c.Append(r); err != nil {
+			return
+		}
+	}
+	if j.complete != nil {
+		j.complete.Discard()
+	}
+	j.complete = c
+	j.completeNames = append(j.completeNames, w.ix.Name)
+	j.filter = c.Filter()
+	j.guaranteedBest = newFinal
+	tracef(j.st, "jscan: race winner %s, %d rids, final cost %.0f", w.ix.Name, n, newFinal)
+}
+
+// continueLoser refilters the losing leg's partial list against the
+// (possibly new) filter and resumes it as the current sequential scan.
+func (j *jscan) continueLoser(l *raceLeg) {
+	j.cur = l.cur
+	j.curIx = l.ix
+	j.local = l.local
+	j.list = rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	for _, r := range l.rids {
+		if j.filter.MayContain(r) {
+			if err := j.list.Append(r); err != nil {
+				break
+			}
+		}
+	}
+	j.seen = l.seen
+	j.rangeEst = l.rangeEst
+	j.scan0 = l.cost0
+	tracef(j.st, "jscan: continuing %s with %d prefiltered rids", l.ix.Name, j.list.Len())
+}

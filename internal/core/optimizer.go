@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+)
+
+// Optimizer is the dynamic optimizer. It keeps cross-run state: the
+// winning index order of previous retrievals on each table (used to
+// pre-arrange the next initial stage) and cached cluster-ratio samples
+// per index.
+type Optimizer struct {
+	cfg       Config
+	rng       *rand.Rand
+	prevOrder map[string][]string
+	cluster   map[*catalog.Index]float64
+}
+
+// NewOptimizer creates a dynamic optimizer with the given configuration.
+func NewOptimizer(cfg Config) *Optimizer {
+	if cfg.StepEntries <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Optimizer{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(1)),
+		prevOrder: make(map[string][]string),
+		cluster:   make(map[*catalog.Index]float64),
+	}
+}
+
+// Config returns the optimizer's configuration.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// Run plans and starts a retrieval for q, choosing the tactic
+// dynamically at start-retrieval time (Sections 4–7). The returned Rows
+// is lazy: scans advance as the caller pulls.
+func (o *Optimizer) Run(q *Query) Rows {
+	rows, err := o.run(q)
+	if err != nil {
+		return errRows{err: err}
+	}
+	return rows
+}
+
+func (o *Optimizer) run(q *Query) (Rows, error) {
+	if q.Table == nil {
+		return nil, fmt.Errorf("core: query without table")
+	}
+	if err := expr.Validate(q.Restriction); err != nil {
+		return nil, err
+	}
+	for _, c := range append(append([]int(nil), q.Projection...), q.OrderBy...) {
+		if c < 0 || c >= len(q.Table.Columns) {
+			return nil, fmt.Errorf("core: column position %d out of range", c)
+		}
+	}
+	goal := q.EffectiveGoal()
+	cl := Classify(q)
+
+	// Order requested but no index delivers it: classic SORT node over
+	// a total-time retrieval.
+	if len(q.OrderBy) > 0 && len(cl.OrderNeeded) == 0 {
+		return o.runSorted(q)
+	}
+
+	// Initial stage over the fetch-needed indexes.
+	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: o.prevOrder[q.Table.Name]}
+	res, err := estimate.Appraise(cl.FetchNeeded, q.Restriction, q.Binds, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := RetrievalStats{EstimateIO: res.TotalCost, FinalListLen: -1}
+	if res.EmptyRange {
+		tracef(&st, "initial stage: empty range, end of data at once")
+		st.Tactic = "empty-range"
+		return &emptyRows{stats: st}, nil
+	}
+
+	model := o.costModel(q, cl)
+	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, out: &rowQueue{}}
+
+	switch {
+	case len(q.OrderBy) > 0:
+		alt, err := o.planOrdered(q, cl, res, r)
+		if err != nil {
+			return nil, err
+		}
+		if alt != nil {
+			return alt, nil
+		}
+	case len(cl.SelfSufficient) > 0:
+		if err := o.planWithSelfSufficient(q, cl, res, r); err != nil {
+			return nil, err
+		}
+	case len(res.Estimates) > 0:
+		if goal == GoalFastFirst {
+			o.planFastFirst(q, res, r, model)
+		} else {
+			o.planBackgroundOnly(q, res, r, model)
+		}
+	default:
+		// No conjunct-level index use. A top-level OR whose disjuncts
+		// are all index-coverable can still be resolved by a union
+		// scan; otherwise the classical sequential retrieval remains.
+		before := q.Table.Pool().Stats().IOCost()
+		legs := unionLegs(q)
+		r.st.EstimateIO += q.Table.Pool().Stats().IOCost() - before
+		if legs != nil {
+			o.planUnion(q, legs, r, model, goal)
+		} else {
+			r.tactic = tacticTscan
+			r.fg = newTscan(q, r.out)
+			tracef(&r.st, "static: no useful index, Tscan")
+		}
+	}
+	return r, nil
+}
+
+// planUnion arranges a union scan as the background process, under the
+// same background-only / fast-first choreography as Jscan.
+func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model estimate.CostModel, goal Goal) {
+	if goal == GoalFastFirst {
+		r.tactic = tacticFastFirst
+		borrow := &ridQueue{}
+		r.bg = newUscan(q, o.cfg, model, legs, borrow, &r.st)
+		r.fg = newBorrowFetcher(q, borrow, r.out, o.cfg.FgBufferCap)
+		tracef(&r.st, "tactic: fast-first over a %d-leg union", len(legs))
+		return
+	}
+	r.tactic = tacticBackgroundOnly
+	r.bg = newUscan(q, o.cfg, model, legs, nil, &r.st)
+	tracef(&r.st, "tactic: background-only union over %d disjunct legs", len(legs))
+}
+
+// runSorted wraps a total-time retrieval in a SORT (the paper's goal
+// inference treats SORT as a total-time controller).
+func (o *Optimizer) runSorted(q *Query) (Rows, error) {
+	inner := *q
+	inner.OrderBy = nil
+	inner.Projection = nil
+	inner.Limit = 0
+	inner.Control = ControlSort
+	src, err := o.run(&inner)
+	if err != nil {
+		return nil, err
+	}
+	var all []expr.Row
+	for {
+		row, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		all = append(all, row)
+	}
+	if err := src.Close(); err != nil {
+		return nil, err
+	}
+	sortRows(all, q.OrderBy, q.OrderDesc)
+	st := src.Stats()
+	st.Tactic = "sort(" + st.Tactic + ")"
+	return &sliceRows{q: q, rows: all, st: st}, nil
+}
+
+// sliceRows delivers pre-materialized rows with projection and limit.
+type sliceRows struct {
+	q    *Query
+	rows []expr.Row
+	i    int
+	st   RetrievalStats
+}
+
+func (s *sliceRows) Next() (expr.Row, bool, error) {
+	if s.i >= len(s.rows) || (s.q.Limit > 0 && s.st.RowsDelivered >= s.q.Limit) {
+		return nil, false, nil
+	}
+	row := s.q.project(s.rows[s.i])
+	s.i++
+	s.st.RowsDelivered++
+	return row, true, nil
+}
+
+func (s *sliceRows) Close() error          { return nil }
+func (s *sliceRows) Stats() RetrievalStats { return s.st }
+
+// costModel builds the I/O cost model for q, sampling the cluster ratio
+// of the most relevant index once and caching it.
+func (o *Optimizer) costModel(q *Query, cl Classification) estimate.CostModel {
+	m := estimate.CostModel{
+		TablePages: q.Table.Pages(),
+		TableRows:  q.Table.Cardinality(),
+	}
+	// Cluster ratio of the first fetch-needed index dominates fetch
+	// costs; sample it lazily. Sampling is cheap (a few ranked
+	// descents) but not free, which mirrors the paper's point that
+	// clustering "may be hard to detect".
+	if len(cl.FetchNeeded) > 0 {
+		ix := cl.FetchNeeded[0]
+		r, ok := o.cluster[ix]
+		if !ok {
+			var err error
+			r, err = ix.EstimateClusterRatio(o.rng, 16)
+			if err != nil {
+				r = 0
+			}
+			o.cluster[ix] = r
+		}
+		m.ClusterRatio = r
+	}
+	return m
+}
+
+// observer returns the jscan completion hook that records the winning
+// index order for the next run's pre-arrangement.
+func (o *Optimizer) observer(q *Query) func([]string) {
+	return func(names []string) {
+		if len(names) > 0 {
+			o.prevOrder[q.Table.Name] = names
+		}
+	}
+}
+
+// planBackgroundOnly: total-time, fetch-needed indexes only.
+func (o *Optimizer) planBackgroundOnly(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
+	r.tactic = tacticBackgroundOnly
+	j := newJscan(q, o.cfg, model, res.Estimates, nil, &r.st)
+	j.onDone = o.observer(q)
+	r.bg = j
+	tracef(&r.st, "tactic: background-only over %d indexes", len(res.Estimates))
+}
+
+// planFastFirst: fast-first, fetch-needed indexes only. The background
+// Jscan feeds the foreground borrow fetcher; racing is disabled so the
+// borrow stream comes from a single stable first scan.
+func (o *Optimizer) planFastFirst(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
+	r.tactic = tacticFastFirst
+	cfg := o.cfg
+	cfg.RaceFactor = 0
+	borrow := &ridQueue{}
+	j := newJscan(q, cfg, model, res.Estimates, borrow, &r.st)
+	j.onDone = o.observer(q)
+	r.bg = j
+	r.fg = newBorrowFetcher(q, borrow, r.out, cfg.FgBufferCap)
+	tracef(&r.st, "tactic: fast-first, foreground borrows from %s", res.Estimates[0].Index.Name)
+}
+
+// planWithSelfSufficient: a self-sufficient index is available. With no
+// fetch-needed competition it is the statically clear Sscan; otherwise
+// the index-only tactic races the best Sscan against Jscan.
+func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res estimate.Result, r *retrieval) error {
+	best, bestCost, bestLo, bestHi, bestEmpty, err := o.bestSscan(q, cl.SelfSufficient)
+	if err != nil {
+		return err
+	}
+	if bestEmpty {
+		r.tactic = tacticSscan
+		tracef(&r.st, "sscan: empty range")
+		r.closed = true
+		return nil
+	}
+	fg, err := newSscan(q, best, bestLo, bestHi, r.out, o.cfg.StepEntries, false)
+	if err != nil {
+		return err
+	}
+	r.fg = fg
+	r.fgEstTotal = bestCost
+	if len(res.Estimates) == 0 {
+		r.tactic = tacticSscan
+		tracef(&r.st, "static: lone self-sufficient index %s", best.Name)
+		return nil
+	}
+	r.tactic = tacticIndexOnly
+	j := newJscan(q, o.cfg, r.model, res.Estimates, nil, &r.st)
+	j.onDone = o.observer(q)
+	r.bg = j
+	tracef(&r.st, "tactic: index-only, Sscan(%s) vs Jscan(%d indexes)", best.Name, len(res.Estimates))
+	return nil
+}
+
+// bestSscan picks the cheapest self-sufficient index by estimated scan
+// cost over its restriction bounds.
+func (o *Optimizer) bestSscan(q *Query, cands []*catalog.Index) (best *catalog.Index, bestCost float64, bestLo, bestHi []byte, empty bool, err error) {
+	bestCost = math.Inf(1)
+	for _, ix := range cands {
+		lo, hi, _, emptyRg := ix.RestrictionBounds(q.Restriction, q.Binds)
+		if emptyRg {
+			return ix, 0, nil, nil, true, nil
+		}
+		rids, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		if err != nil {
+			return nil, 0, nil, nil, false, err
+		}
+		m := estimate.CostModel{TablePages: q.Table.Pages(), TableRows: q.Table.Cardinality()}
+		cost := m.SscanCost(rids, ix.Tree.AvgLeafEntries(), ix.Tree.Height())
+		if cost < bestCost {
+			best, bestCost, bestLo, bestHi = ix, cost, lo, hi
+		}
+	}
+	return best, bestCost, bestLo, bestHi, false, nil
+}
+
+// planOrdered: an order-needed index exists. If one is also
+// self-sufficient, an ordered Sscan answers everything; otherwise the
+// sorted tactic runs an order-delivering Fscan cooperating with a
+// filter-producing Jscan over the remaining fetch-needed indexes.
+//
+// The sorted tactic is a fast-first arrangement (the paper presents it
+// for "fast-first optimization [where] at least one [index] delivers
+// the requested order"). Under a total-time goal the optimizer first
+// compares the order-index Fscan against materialize-and-sort over a
+// sequential scan and takes the cheaper estimate — an ordered Fscan
+// over a wide range costs one random fetch per row, which loses badly
+// to sort(Tscan).
+func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result, r *retrieval) (Rows, error) {
+	// Prefer an order-needed index that is also self-sufficient.
+	for _, ix := range cl.OrderNeeded {
+		if ix.Covers(q.neededColumns()) {
+			lo, hi, _, _ := ix.RestrictionBounds(q.Restriction, q.Binds)
+			fg, err := newSscan(q, ix, lo, hi, r.out, o.cfg.StepEntries, q.OrderDesc)
+			if err != nil {
+				return nil, err
+			}
+			r.tactic = tacticSscan
+			r.fg = fg
+			tracef(&r.st, "ordered: self-sufficient order-needed index %s", ix.Name)
+			return nil, nil
+		}
+	}
+	ordIx := cl.OrderNeeded[0]
+	ordLo, ordHi, _, _ := ordIx.RestrictionBounds(q.Restriction, q.Binds)
+	if q.EffectiveGoal() != GoalFastFirst {
+		rids, _, err := ordIx.Tree.EstimateRangeRefined(ordLo, ordHi)
+		if err != nil {
+			return nil, err
+		}
+		fscanEst := r.model.FscanCost(rids, ordIx.Tree.AvgLeafEntries(), ordIx.Tree.Height())
+		if fscanEst > r.model.TscanCost() {
+			// Ordered Fscan loses to materialize-and-sort: delegate.
+			return o.runSorted(q)
+		}
+	}
+	fg, err := newFscan(q, ordIx, ordLo, ordHi, r.out, o.cfg.StepEntries, q.OrderDesc)
+	if err != nil {
+		return nil, err
+	}
+	r.fg = fg
+	// Jscan over the other fetch-needed indexes produces the pre-fetch
+	// filter.
+	var others []estimate.IndexEstimate
+	for _, e := range res.Estimates {
+		if e.Index != ordIx {
+			others = append(others, e)
+		}
+	}
+	if len(others) == 0 {
+		r.tactic = tacticFscan
+		tracef(&r.st, "ordered: plain Fscan(%s)", ordIx.Name)
+		return nil, nil
+	}
+	r.tactic = tacticSorted
+	// The filter is the only useful Jscan outcome here: no temp-table
+	// spill, the bitmap absorbs overflow (Section 7, sorted tactic).
+	cfg := o.cfg
+	cfg.RID.FilterOnly = true
+	j := newJscan(q, cfg, r.model, others, nil, &r.st)
+	j.onDone = o.observer(q)
+	r.bg = j
+	tracef(&r.st, "tactic: sorted, Fscan(%s) + filter Jscan(%d indexes)", ordIx.Name, len(others))
+	return nil, nil
+}

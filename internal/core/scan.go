@@ -1,0 +1,392 @@
+package core
+
+import (
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// stepper is a resumable scan. The cooperative scheduler in the tactics
+// advances foreground and background steppers in proportional slices,
+// which is how the paper's "simultaneous runs with proportional speeds"
+// are realized deterministically.
+type stepper interface {
+	// step advances by roughly one page worth of work.
+	step() (done bool, err error)
+	// cost returns the I/O invested in this scan so far.
+	cost() float64
+	// name identifies the scan for traces.
+	name() string
+}
+
+// meter attributes buffer-pool I/O to one scan. Execution within a
+// query is single-threaded, so snapshot differencing is exact.
+type meter struct {
+	pool  *storage.BufferPool
+	stats storage.IOStats
+}
+
+func (m *meter) measure(f func() error) error {
+	before := m.pool.Stats()
+	err := f()
+	m.stats = m.stats.Add(m.pool.Stats().Sub(before))
+	return err
+}
+
+func (m *meter) cost() float64       { return float64(m.stats.IOCost()) }
+func (m *meter) total() int64        { return m.stats.IOCost() }
+func (m *meter) io() storage.IOStats { return m.stats }
+
+// entryCursor is the common face of forward and reverse index cursors.
+type entryCursor interface {
+	Next() (key []byte, rid storage.RID, ok bool, err error)
+}
+
+// newEntryCursor opens a cursor over [lo, hi) in the requested
+// direction.
+func newEntryCursor(tree *btree.BTree, lo, hi []byte, desc bool) (entryCursor, error) {
+	if desc {
+		return tree.SeekReverse(lo, hi)
+	}
+	return tree.Seek(lo, hi)
+}
+
+// rowQueue is the delivery buffer between a producing scan and the
+// Rows iterator.
+type rowQueue struct {
+	rows []expr.Row
+}
+
+func (q *rowQueue) push(r expr.Row) { q.rows = append(q.rows, r) }
+func (q *rowQueue) empty() bool     { return len(q.rows) == 0 }
+func (q *rowQueue) pop() expr.Row {
+	r := q.rows[0]
+	q.rows = q.rows[1:]
+	return r
+}
+
+// ridQueue carries borrowed RIDs from the background's first index scan
+// to the fast-first foreground.
+type ridQueue struct {
+	rids   []storage.RID
+	closed bool // producer finished
+}
+
+func (q *ridQueue) push(r storage.RID) { q.rids = append(q.rids, r) }
+func (q *ridQueue) empty() bool        { return len(q.rids) == 0 }
+func (q *ridQueue) pop() storage.RID {
+	r := q.rids[0]
+	q.rids = q.rids[1:]
+	return r
+}
+
+// tscan is the classical sequential retrieval: one heap page per step.
+// An optional exclusion list skips rows a terminated foreground already
+// delivered (fast-first fallback).
+type tscan struct {
+	q       *Query
+	cur     *storage.HeapCursor
+	out     *rowQueue
+	m       meter
+	exclude *rid.SortedList
+	rpp     int // rows per page, the per-step record budget
+	done    bool
+}
+
+func newTscan(q *Query, out *rowQueue) *tscan {
+	pages := q.Table.Pages()
+	rpp := 1
+	if pages > 0 {
+		rpp = int(q.Table.Cardinality())/pages + 1
+	}
+	return &tscan{
+		q:   q,
+		cur: q.Table.Heap.Cursor(),
+		out: out,
+		m:   meter{pool: q.Table.Pool()},
+		rpp: rpp,
+	}
+}
+
+func (t *tscan) name() string  { return "Tscan" }
+func (t *tscan) cost() float64 { return t.m.cost() }
+
+func (t *tscan) step() (bool, error) {
+	if t.done {
+		return true, nil
+	}
+	err := t.m.measure(func() error {
+		for i := 0; i < t.rpp; i++ {
+			rec, rrid, ok, err := t.cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				t.done = true
+				return nil
+			}
+			if t.exclude != nil && t.exclude.MayContain(rrid) {
+				continue
+			}
+			row, err := expr.DecodeRow(rec)
+			if err != nil {
+				return err
+			}
+			keep, err := expr.EvalPred(t.q.Restriction, row, t.q.Binds)
+			if err != nil {
+				return err
+			}
+			if keep {
+				t.out.push(t.q.project(row))
+			}
+		}
+		return nil
+	})
+	return t.done, err
+}
+
+// pagesRemaining projects the scan's remaining cost.
+func (t *tscan) pagesRemaining() int { return t.cur.PagesRemaining() }
+
+// sscan is the self-sufficient index scan: the whole query is answered
+// from index entries, never touching data records.
+type sscan struct {
+	q   *Query
+	ix  *catalog.Index
+	cur entryCursor
+	out *rowQueue
+	m   meter
+	// delivered records RIDs of rows already handed out, so a winning
+	// background final stage can skip them (index-only tactic).
+	delivered []storage.RID
+	perStep   int
+	done      bool
+}
+
+func newSscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*sscan, error) {
+	cur, err := newEntryCursor(ix.Tree, lo, hi, desc)
+	if err != nil {
+		return nil, err
+	}
+	return &sscan{
+		q:       q,
+		ix:      ix,
+		cur:     cur,
+		out:     out,
+		m:       meter{pool: q.Table.Pool()},
+		perStep: perStep,
+	}, nil
+}
+
+func (s *sscan) name() string  { return "Sscan(" + s.ix.Name + ")" }
+func (s *sscan) cost() float64 { return s.m.cost() }
+
+func (s *sscan) step() (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	err := s.m.measure(func() error {
+		for i := 0; i < s.perStep; i++ {
+			key, rid, ok, err := s.cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				s.done = true
+				return nil
+			}
+			row, err := s.ix.DecodeEntry(key)
+			if err != nil {
+				return err
+			}
+			keep, err := expr.EvalPred(s.q.Restriction, row, s.q.Binds)
+			if err != nil {
+				return err
+			}
+			if keep {
+				s.out.push(s.q.project(row))
+				s.delivered = append(s.delivered, rid)
+			}
+		}
+		return nil
+	})
+	return s.done, err
+}
+
+// fscan is the classical indexed retrieval: scan a fetch-needed index
+// and fetch each candidate data record immediately. An optional filter
+// (produced by a cooperating Jscan in the sorted tactic) rejects RIDs
+// before the fetch, "eliminating a large number of record fetches that
+// usually comprise the biggest cost portion of retrieval".
+type fscan struct {
+	q       *Query
+	ix      *catalog.Index
+	cur     entryCursor
+	local   expr.Expr              // restriction conjuncts evaluable on key columns
+	filter  func(storage.RID) bool // nil = no pre-fetch filter
+	out     *rowQueue
+	m       meter
+	perStep int
+	scanned int // entries consumed
+	fetched int // records fetched
+	done    bool
+}
+
+// localRestriction extracts the conjuncts of e whose columns all lie in
+// the index key, so they can be checked on the entry before fetching.
+func localRestriction(e expr.Expr, ix *catalog.Index) expr.Expr {
+	var local []expr.Expr
+	for _, cj := range expr.Conjuncts(e) {
+		if ix.Covers(expr.Columns(cj)) {
+			local = append(local, cj)
+		}
+	}
+	if len(local) == 0 {
+		return nil
+	}
+	return expr.NewAnd(local...)
+}
+
+func newFscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*fscan, error) {
+	cur, err := newEntryCursor(ix.Tree, lo, hi, desc)
+	if err != nil {
+		return nil, err
+	}
+	return &fscan{
+		q:       q,
+		ix:      ix,
+		cur:     cur,
+		local:   localRestriction(q.Restriction, ix),
+		out:     out,
+		m:       meter{pool: q.Table.Pool()},
+		perStep: perStep,
+	}, nil
+}
+
+func (f *fscan) name() string  { return "Fscan(" + f.ix.Name + ")" }
+func (f *fscan) cost() float64 { return f.m.cost() }
+
+// setFilter installs a pre-fetch RID filter (sorted tactic: the Jscan
+// filter arrives while the Fscan is already running).
+func (f *fscan) setFilter(fn func(storage.RID) bool) { f.filter = fn }
+
+func (f *fscan) step() (bool, error) {
+	if f.done {
+		return true, nil
+	}
+	err := f.m.measure(func() error {
+		fetches := 0
+		for i := 0; i < f.perStep && fetches < 4; i++ {
+			key, rid, ok, err := f.cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				f.done = true
+				return nil
+			}
+			f.scanned++
+			if f.local != nil {
+				row, err := f.ix.DecodeEntry(key)
+				if err != nil {
+					return err
+				}
+				keep, err := expr.EvalPred(f.local, row, f.q.Binds)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					continue
+				}
+			}
+			if f.filter != nil && !f.filter(rid) {
+				continue
+			}
+			row, err := f.q.Table.Fetch(rid)
+			if err != nil {
+				return err
+			}
+			fetches++
+			f.fetched++
+			keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
+			if err != nil {
+				return err
+			}
+			if keep {
+				f.out.push(f.q.project(row))
+			}
+		}
+		return nil
+	})
+	return f.done, err
+}
+
+// borrowFetcher is the fast-first foreground: it consumes RIDs borrowed
+// from the background Jscan's first index scan, fetches and delivers
+// the records, and remembers what it delivered so the final stage can
+// filter those out (Section 7, fast-first tactic).
+type borrowFetcher struct {
+	q   *Query
+	in  *ridQueue
+	out *rowQueue
+	m   meter
+	// delivered RIDs, bounded by cap; overflow signals the tactic to
+	// terminate the foreground.
+	delivered []storage.RID
+	capRIDs   int
+	overflow  bool
+	done      bool
+}
+
+func newBorrowFetcher(q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borrowFetcher {
+	return &borrowFetcher{
+		q:       q,
+		in:      in,
+		out:     out,
+		m:       meter{pool: q.Table.Pool()},
+		capRIDs: capRIDs,
+	}
+}
+
+func (b *borrowFetcher) name() string  { return "Fgr(borrow)" }
+func (b *borrowFetcher) cost() float64 { return b.m.cost() }
+
+func (b *borrowFetcher) step() (bool, error) {
+	if b.done {
+		return true, nil
+	}
+	err := b.m.measure(func() error {
+		for fetches := 0; fetches < 4; fetches++ {
+			if b.in.empty() {
+				if b.in.closed {
+					b.done = true
+				}
+				return nil
+			}
+			rid := b.in.pop()
+			row, err := b.q.Table.Fetch(rid)
+			if err != nil {
+				return err
+			}
+			keep, err := expr.EvalPred(b.q.Restriction, row, b.q.Binds)
+			if err != nil {
+				return err
+			}
+			// Only delivered rows need bookkeeping: rows rejected here
+			// will be rejected again by Fin's restriction re-check.
+			if keep {
+				b.out.push(b.q.project(row))
+				b.delivered = append(b.delivered, rid)
+				if len(b.delivered) >= b.capRIDs {
+					b.overflow = true
+					b.done = true
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	return b.done, err
+}

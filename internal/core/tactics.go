@@ -1,0 +1,453 @@
+package core
+
+import (
+	"strings"
+
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// tacticKind names the arrangement chosen at start-retrieval time.
+type tacticKind uint8
+
+const (
+	tacticTscan tacticKind = iota
+	tacticSscan
+	tacticFscan
+	tacticBackgroundOnly
+	tacticFastFirst
+	tacticSorted
+	tacticIndexOnly
+)
+
+// backgroundScan is the contract between the retrieval and its
+// background process: Jscan for AND restrictions, Uscan for OR-covered
+// restrictions. The background produces either a complete RID list for
+// the final stage or a Tscan recommendation, optionally feeding a
+// borrow queue for the fast-first foreground.
+type backgroundScan interface {
+	stepper
+	// bgComplete returns the completed RID list (nil when none).
+	bgComplete() *rid.Container
+	// bgNames lists the indexes that produced the list.
+	bgNames() []string
+	// bgRecommendTscan reports that sequential retrieval is optimal.
+	bgRecommendTscan() bool
+	// bgKill abandons the background, releasing its containers.
+	bgKill()
+	// closeBorrow stops feeding the borrow queue.
+	closeBorrow()
+	// borrowStreamComplete reports whether the borrow queue received
+	// every candidate RID.
+	borrowStreamComplete() bool
+}
+
+func (t tacticKind) String() string {
+	switch t {
+	case tacticTscan:
+		return "tscan"
+	case tacticSscan:
+		return "sscan"
+	case tacticFscan:
+		return "fscan"
+	case tacticBackgroundOnly:
+		return "background-only"
+	case tacticFastFirst:
+		return "fast-first"
+	case tacticSorted:
+		return "sorted"
+	case tacticIndexOnly:
+		return "index-only"
+	default:
+		return "?"
+	}
+}
+
+// retrieval is the single-table retrieval subsystem of Figure 4: a
+// foreground process delivering records immediately, a background
+// process running Jscan, and a final stage executed upon background
+// completion as the alternative to foreground delivery. It implements
+// Rows; each Next() advances the processes cooperatively (one
+// foreground and one background step per round — the paper's equal
+// proportional speeds) until a row is available.
+type retrieval struct {
+	q      *Query
+	cfg    Config
+	tactic tacticKind
+	model  estimate.CostModel
+	st     RetrievalStats
+
+	out *rowQueue
+
+	fg  stepper        // may be nil
+	bg  backgroundScan // may be nil
+	fin *finalStage
+
+	// fgEstTotal is the projected total cost of the foreground scan,
+	// used by the index-only competition decision.
+	fgEstTotal float64
+
+	// retired holds replaced foreground steppers so their I/O stays in
+	// the accounting.
+	retired []stepper
+
+	fgDone       bool
+	fgTerminated bool
+	bgDone       bool
+	// bgStopped marks a background that was abandoned by the tactic
+	// (as opposed to completing); a stopped background has no result.
+	bgStopped  bool
+	finDone    bool
+	closed     bool
+	statsFinal bool
+	err        error
+}
+
+// replaceFg swaps the foreground stepper, retiring the old one.
+func (r *retrieval) replaceFg(s stepper) {
+	if r.fg != nil {
+		r.retired = append(r.retired, r.fg)
+	}
+	r.fg = s
+	r.fgDone = false
+	r.fgTerminated = false
+}
+
+func (r *retrieval) Stats() RetrievalStats {
+	st := r.st
+	st.Tactic = r.tactic.String()
+	return st
+}
+
+func (r *retrieval) Close() error {
+	r.closed = true
+	r.finalizeStats()
+	return nil
+}
+
+func (r *retrieval) Next() (expr.Row, bool, error) {
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	for {
+		if r.closed {
+			r.finalizeStats()
+			return nil, false, nil
+		}
+		if !r.out.empty() {
+			row := r.out.pop()
+			r.st.RowsDelivered++
+			if r.fin == nil && !r.fgTerminated {
+				r.st.FgRows++
+			}
+			if r.q.Limit > 0 && r.st.RowsDelivered >= r.q.Limit {
+				// Forceful early termination: the fast-first payoff.
+				r.closed = true
+			}
+			return row, true, nil
+		}
+		done, err := r.advance()
+		if err != nil {
+			r.err = err
+			return nil, false, err
+		}
+		if done && r.out.empty() {
+			r.closed = true
+			r.finalizeStats()
+			return nil, false, nil
+		}
+	}
+}
+
+// advance runs one cooperative round. It returns true when every stage
+// has finished.
+func (r *retrieval) advance() (bool, error) {
+	// Final stage, once entered, runs alone.
+	if r.fin != nil {
+		if r.finDone {
+			return true, nil
+		}
+		done, err := r.fin.step()
+		if err != nil {
+			return false, err
+		}
+		r.finDone = done
+		return done, nil
+	}
+	// Foreground slice.
+	if r.fg != nil && !r.fgDone && !r.fgTerminated {
+		done, err := r.fg.step()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			r.fgDone = true
+			if err := r.onFgDone(); err != nil {
+				return false, err
+			}
+		}
+	}
+	// Background slice.
+	if r.bg != nil && !r.bgDone {
+		done, err := r.bg.step()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			r.bgDone = true
+			if err := r.onBgDone(); err != nil {
+				return false, err
+			}
+		}
+	}
+	// Tactic-specific competition control between rounds.
+	if err := r.control(); err != nil {
+		return false, err
+	}
+	if r.fin != nil {
+		return r.finDone, nil
+	}
+	fgOver := r.fg == nil || r.fgDone || r.fgTerminated
+	bgOver := r.bg == nil || r.bgDone
+	return fgOver && bgOver, nil
+}
+
+// onFgDone handles foreground completion.
+func (r *retrieval) onFgDone() error {
+	tracef(&r.st, "%s: foreground %s complete", r.tactic, r.fg.name())
+	switch r.tactic {
+	case tacticFastFirst:
+		// The borrow stream ended. If the background's first scan
+		// completed (rather than being abandoned), the foreground saw
+		// every candidate RID and the retrieval is complete; kill the
+		// background. Otherwise the background must finish the job.
+		if r.bg != nil && !r.bgDone && r.bg.borrowStreamComplete() {
+			r.stopBackground("foreground delivered everything")
+		}
+	case tacticSorted, tacticIndexOnly:
+		// Quick foreground completion eliminates the background
+		// overhead entirely.
+		if r.bg != nil && !r.bgDone {
+			r.stopBackground("foreground finished first")
+		}
+	}
+	return nil
+}
+
+// onBgDone handles background (Jscan) completion.
+func (r *retrieval) onBgDone() error {
+	tracef(&r.st, "%s: background complete", r.tactic)
+	r.st.WinningOrder = append([]string(nil), r.bg.bgNames()...)
+	if c := r.bg.bgComplete(); c != nil {
+		r.st.FinalListLen = c.Len()
+	} else {
+		r.st.FinalListLen = -1
+	}
+	switch r.tactic {
+	case tacticBackgroundOnly:
+		if r.bg.bgRecommendTscan() {
+			// Strategy switch: Jscan proved sequential retrieval
+			// optimal.
+			tracef(&r.st, "background-only: switching to Tscan")
+			r.replaceFg(newTscan(r.q, r.out))
+			return nil
+		}
+		return r.enterFinal(nil)
+	case tacticFastFirst:
+		if r.fgDone || r.fgTerminated {
+			return r.bgResolveFastFirst()
+		}
+		// Foreground still draining borrowed RIDs; resolve in control.
+		return nil
+	case tacticSorted:
+		// Deliver the filter to the running Fscan.
+		if c := r.bg.bgComplete(); c != nil {
+			f := c.Filter()
+			if fs, ok := r.fg.(*fscan); ok && !r.fgDone {
+				fs.setFilter(f.MayContain)
+				tracef(&r.st, "sorted: Jscan filter (%d rids) installed into %s", c.Len(), r.fg.name())
+			}
+		}
+		return nil
+	case tacticIndexOnly:
+		return r.bgResolveIndexOnly()
+	}
+	return nil
+}
+
+// bgResolveFastFirst finishes a fast-first retrieval whose foreground
+// has stopped: the final stage delivers the remainder, filtering out
+// already-delivered records; if Jscan recommended Tscan, a Tscan with
+// the same exclusion runs instead.
+func (r *retrieval) bgResolveFastFirst() error {
+	delivered := r.fgDeliveredRIDs()
+	if r.bg.bgRecommendTscan() {
+		tracef(&r.st, "fast-first: background recommends Tscan for the remainder")
+		ts := newTscan(r.q, r.out)
+		if len(delivered) > 0 {
+			ts.exclude = rid.NewSortedList(delivered)
+		}
+		r.replaceFg(ts)
+		return nil
+	}
+	return r.enterFinal(delivered)
+}
+
+// bgResolveIndexOnly applies the index-only rule: a completed Jscan
+// with a small enough RID list abandons the Sscan in favor of the
+// "sure" final-stage retrieval; otherwise the Sscan continues alone.
+func (r *retrieval) bgResolveIndexOnly() error {
+	if r.fgDone {
+		return nil
+	}
+	if r.bg.bgRecommendTscan() || r.bg.bgComplete() == nil {
+		tracef(&r.st, "index-only: background produced nothing, Sscan continues")
+		return nil
+	}
+	finCost := r.model.JscanFinalCost(float64(r.bg.bgComplete().Len()))
+	remaining := r.fgEstTotal - r.fg.cost()
+	if remaining < 0 {
+		remaining = 0
+	}
+	if finCost < remaining {
+		tracef(&r.st, "index-only: final stage (%.0f) beats remaining Sscan (%.0f); abandoning Sscan", finCost, remaining)
+		r.fgTerminated = true
+		return r.enterFinal(r.fgDeliveredRIDs())
+	}
+	tracef(&r.st, "index-only: Sscan remainder (%.0f) beats final stage (%.0f); Sscan continues", remaining, finCost)
+	return nil
+}
+
+// control applies per-round competition rules that are not triggered by
+// stage completion.
+func (r *retrieval) control() error {
+	switch r.tactic {
+	case tacticFastFirst:
+		bf, ok := r.fg.(*borrowFetcher)
+		if !ok {
+			return nil
+		}
+		if bf.overflow && !r.fgTerminated {
+			// Section 7: upon buffer overflow the foreground run is
+			// terminated and the buffer passes to the final stage.
+			tracef(&r.st, "fast-first: foreground buffer overflow, switching to background tactic")
+			r.fgTerminated = true
+			r.fgDone = true
+			if r.bg != nil {
+				r.bg.closeBorrow()
+			}
+			if r.bgDone {
+				return r.bgResolveFastFirst()
+			}
+			return nil
+		}
+		if r.fgDone && r.bgDone && !r.bgStopped && r.fin == nil {
+			return r.bgResolveFastFirst()
+		}
+	case tacticIndexOnly:
+		// Section 7: upon foreground buffer overflow, Jscan terminates
+		// and Sscan continues (the safer strategy).
+		if ss, ok := r.fg.(*sscan); ok && r.bg != nil && !r.bgDone &&
+			len(ss.delivered) >= r.cfg.FgBufferCap {
+			r.stopBackground("foreground buffer overflow; Sscan is safer")
+		}
+	}
+	return nil
+}
+
+// enterFinal switches the retrieval into its final stage.
+func (r *retrieval) enterFinal(delivered []storage.RID) error {
+	fin, err := newFinalStage(r.q, r.bg.bgComplete(), delivered, r.out)
+	if err != nil {
+		return err
+	}
+	r.fin = fin
+	tracef(&r.st, "%s: final stage over %d rids (excluding %d delivered)", r.tactic, len(fin.rids), len(delivered))
+	return nil
+}
+
+// stopBackground abandons the background process.
+func (r *retrieval) stopBackground(why string) {
+	tracef(&r.st, "%s: stopping background (%s)", r.tactic, why)
+	r.bg.bgKill()
+	r.bgDone = true
+	r.bgStopped = true
+}
+
+// fgDeliveredRIDs returns the foreground's delivered-RID buffer.
+func (r *retrieval) fgDeliveredRIDs() []storage.RID {
+	switch fg := r.fg.(type) {
+	case *borrowFetcher:
+		return fg.delivered
+	case *sscan:
+		return fg.delivered
+	default:
+		return nil
+	}
+}
+
+// steppers returns every stage, live or retired, for cost accounting.
+func (r *retrieval) steppers() []stepper {
+	out := append([]stepper(nil), r.retired...)
+	if r.fg != nil {
+		out = append(out, r.fg)
+	}
+	if r.bg != nil {
+		out = append(out, r.bg)
+	}
+	if r.fin != nil {
+		out = append(out, r.fin)
+	}
+	return out
+}
+
+// finalizeStats assembles the strategy description and I/O totals.
+func (r *retrieval) finalizeStats() {
+	if r.statsFinal {
+		return
+	}
+	r.statsFinal = true
+	var parts []string
+	var io storage.IOStats
+	for _, s := range r.retired {
+		parts = append(parts, s.name())
+	}
+	if r.fg != nil {
+		parts = append(parts, r.fg.name())
+	}
+	if r.bg != nil {
+		parts = append(parts, r.bg.name()+"["+strings.Join(r.bg.bgNames(), ",")+"]")
+	}
+	if r.fin != nil {
+		parts = append(parts, "Fin")
+	}
+	for _, s := range r.steppers() {
+		io = io.Add(stepperIO(s))
+	}
+	r.st.IO = io
+	r.st.Strategy = strings.Join(parts, "+")
+}
+
+// stepperIO extracts the IOStats a stepper's meter accumulated.
+func stepperIO(s stepper) storage.IOStats {
+	switch t := s.(type) {
+	case *tscan:
+		return t.m.io()
+	case *sscan:
+		return t.m.io()
+	case *fscan:
+		return t.m.io()
+	case *borrowFetcher:
+		return t.m.io()
+	case *jscan:
+		return t.m.io()
+	case *uscan:
+		return t.m.io()
+	case *finalStage:
+		return t.m.io()
+	default:
+		return storage.IOStats{}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// uscan is the union scan: the OR counterpart of Jscan and an
+// implementation of the extension direction the paper's Section 7
+// names ("Covering ORs ... is a rich source for extending the tactics
+// and the architecture").
+//
+// When the restriction contains a top-level OR whose every disjunct is
+// sargable on some index, the union of the per-disjunct index ranges is
+// a complete candidate RID list: scanning the legs in sequence and
+// concatenating their RIDs (duplicates removed by the final stage's
+// sort) produces the same "shortest possible RID list or Tscan
+// recommendation" contract Jscan has, so a uscan slots into every
+// tactic as the background process — including fast-first borrowing.
+//
+// The union runs the same two-stage competition as Jscan, but the
+// abandonment is all-or-nothing: a union with a leg missing is not a
+// complete candidate list, so when the projected final cost approaches
+// the Tscan guarantee the whole union is abandoned.
+type uscan struct {
+	q     *Query
+	cfg   Config
+	model estimate.CostModel
+	legs  []unionLeg
+	st    *RetrievalStats
+	m     meter
+
+	idx      int // current leg
+	cur      *btree.Cursor
+	list     *rid.Container
+	seen     int
+	totalEst float64
+
+	borrow       *ridQueue
+	borrowActive bool
+
+	done           bool
+	recommendTscan bool
+	names          []string
+}
+
+// unionLeg is one disjunct's index scan.
+type unionLeg struct {
+	Index *catalog.Index
+	Lo    []byte
+	Hi    []byte
+	// Local is the disjunct's restriction portion evaluable on the
+	// index's key columns (rejects non-matching entries before they
+	// enter the list).
+	Local expr.Expr
+	// Est is the estimated RID count of the leg's range.
+	Est float64
+}
+
+// unionLegs maps the disjuncts of the first index-coverable top-level
+// OR conjunct onto index scans. It returns nil when no such conjunct
+// exists (some disjunct is unsargable on every index).
+func unionLegs(q *Query) []unionLeg {
+	for _, cj := range expr.Conjuncts(q.Restriction) {
+		or, ok := cj.(*expr.Or)
+		if !ok || len(or.Kids) == 0 {
+			continue
+		}
+		legs := make([]unionLeg, 0, len(or.Kids))
+		covered := true
+		for _, d := range or.Kids {
+			leg, ok := legForDisjunct(q, d)
+			if !ok {
+				covered = false
+				break
+			}
+			legs = append(legs, leg)
+		}
+		if covered {
+			return legs
+		}
+	}
+	return nil
+}
+
+// legForDisjunct finds the most selective index whose bounds cover the
+// disjunct.
+func legForDisjunct(q *Query, d expr.Expr) (unionLeg, bool) {
+	var (
+		best    unionLeg
+		bestEst = -1.0
+	)
+	for _, ix := range q.Table.Indexes {
+		lo, hi, n, empty := ix.RestrictionBounds(d, q.Binds)
+		if n == 0 {
+			continue
+		}
+		if empty {
+			// This disjunct matches nothing: a zero-entry leg.
+			return unionLeg{Index: ix, Lo: []byte{0xFF, 0xFF}, Hi: []byte{0xFF, 0xFF}, Est: 0}, true
+		}
+		if lo == nil && hi == nil {
+			continue
+		}
+		rids, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		if err != nil {
+			continue
+		}
+		if bestEst < 0 || rids < bestEst {
+			best = unionLeg{
+				Index: ix,
+				Lo:    lo,
+				Hi:    hi,
+				Local: localDisjunct(d, ix),
+				Est:   rids,
+			}
+			bestEst = rids
+		}
+	}
+	return best, bestEst >= 0
+}
+
+// localDisjunct returns the disjunct if the index can evaluate it
+// fully on key columns, so leg entries outside the disjunct (but inside
+// its bounding range) are rejected before entering the list.
+func localDisjunct(d expr.Expr, ix *catalog.Index) expr.Expr {
+	if ix.Covers(expr.Columns(d)) {
+		return d
+	}
+	return nil
+}
+
+func newUscan(q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, st *RetrievalStats) *uscan {
+	u := &uscan{
+		q:            q,
+		cfg:          cfg,
+		model:        model,
+		legs:         legs,
+		st:           st,
+		m:            meter{pool: q.Table.Pool()},
+		list:         rid.NewContainer(q.Table.Pool(), cfg.RID),
+		borrow:       borrow,
+		borrowActive: borrow != nil,
+	}
+	for _, l := range legs {
+		u.totalEst += l.Est
+	}
+	if u.totalEst < 1 {
+		u.totalEst = 1
+	}
+	return u
+}
+
+func (u *uscan) name() string  { return "Uscan" }
+func (u *uscan) cost() float64 { return u.m.cost() }
+
+// backgroundScan implementation.
+
+func (u *uscan) bgComplete() *rid.Container { return u.list }
+func (u *uscan) bgNames() []string          { return u.names }
+func (u *uscan) bgRecommendTscan() bool     { return u.recommendTscan }
+
+func (u *uscan) bgKill() {
+	if u.list != nil {
+		u.list.Discard()
+		u.list = nil
+	}
+	u.closeBorrow()
+	u.done = true
+}
+
+func (u *uscan) closeBorrow() {
+	if u.borrowActive {
+		u.borrow.closed = true
+		u.borrowActive = false
+	}
+}
+
+// borrowStreamComplete: the union's borrow stream covers every
+// candidate only when all legs finished, i.e. the union was not
+// abandoned.
+func (u *uscan) borrowStreamComplete() bool {
+	return u.done && !u.recommendTscan
+}
+
+func (u *uscan) step() (bool, error) {
+	if u.done {
+		return true, nil
+	}
+	err := u.m.measure(func() error {
+		if u.cur == nil {
+			if u.idx >= len(u.legs) {
+				u.finish()
+				return nil
+			}
+			leg := u.legs[u.idx]
+			cur, err := leg.Index.Tree.Seek(leg.Lo, leg.Hi)
+			if err != nil {
+				return err
+			}
+			u.cur = cur
+			u.names = append(u.names, leg.Index.Name)
+			tracef(u.st, "uscan: leg %d/%d scanning %s (est %.0f rids)", u.idx+1, len(u.legs), leg.Index.Name, leg.Est)
+		}
+		leg := u.legs[u.idx]
+		for i := 0; i < u.cfg.StepEntries; i++ {
+			key, r, ok, err := u.cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				u.cur = nil
+				u.idx++
+				if u.idx >= len(u.legs) {
+					u.finish()
+				}
+				return nil
+			}
+			u.seen++
+			if leg.Local != nil {
+				row, err := leg.Index.DecodeEntry(key)
+				if err != nil {
+					return err
+				}
+				keep, err := expr.EvalPred(leg.Local, row, u.q.Binds)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					continue
+				}
+			}
+			if err := u.list.Append(r); err != nil {
+				return err
+			}
+			if u.borrowActive {
+				u.borrow.push(r)
+			}
+		}
+		// Two-stage competition: project the final union size; the
+		// guaranteed best is always Tscan (no intersection can improve
+		// a union mid-flight).
+		if !u.cfg.DisableCompetition && u.seen >= u.cfg.StepEntries {
+			frac := float64(u.seen) / u.totalEst
+			if frac > 1 {
+				frac = 1
+			}
+			proj := float64(u.list.Len()) / frac
+			projFinal := u.model.JscanFinalCost(proj)
+			scanCost := float64(u.m.total())
+			if u.cfg.Criterion.Abandon(projFinal, scanCost, u.model.TscanCost()) {
+				tracef(u.st, "uscan: abandoning union (proj final %.0f, scan cost %.0f, Tscan %.0f)",
+					projFinal, scanCost, u.model.TscanCost())
+				u.abandon()
+			}
+		}
+		return nil
+	})
+	return u.done, err
+}
+
+func (u *uscan) finish() {
+	u.done = true
+	u.closeBorrow()
+	tracef(u.st, "uscan: union complete, %d rids via %v", u.list.Len(), u.names)
+}
+
+func (u *uscan) abandon() {
+	u.list.Discard()
+	u.list = nil
+	u.recommendTscan = true
+	u.done = true
+	u.closeBorrow()
+}
+
+// dedupSorted removes duplicate RIDs from a sorted slice in place
+// (union legs may overlap).
+func dedupSorted(rids []storage.RID) []storage.RID {
+	if len(rids) < 2 {
+		return rids
+	}
+	out := rids[:1]
+	for _, r := range rids[1:] {
+		if r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

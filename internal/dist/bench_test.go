@@ -1,0 +1,35 @@
+package dist
+
+import "testing"
+
+func BenchmarkAndFixedCorrelation(b *testing.B) {
+	x := Uniform(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AndC(x, x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAndUnknownCorrelation(b *testing.B) {
+	x := Uniform(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := And(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperbolaFitDist(b *testing.B) {
+	x := Uniform(256)
+	d, err := Apply("&&", x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitHyperbola(d)
+	}
+}

@@ -1,0 +1,278 @@
+// Package dist implements the selectivity-distribution calculus of the
+// paper's Section 2: numeric probability density functions of Boolean
+// selectivity on [0,1], transformed by NOT/AND/OR under correlation
+// assumptions ranging from -1 to +1 and under the "unknown correlation"
+// uniform mixture.
+//
+// A distribution is a discretized probability mass function over n bins
+// covering [0,1]. AND of two distributions combines every pair of
+// weighted point estimates exactly as described in the paper; OR is
+// derived through De Morgan mirror symmetry; JOIN behaves as AND on the
+// key-domain selectivity scale (paper, end of Section 2).
+//
+// The package also provides the truncated-hyperbola fit used by the
+// paper to characterize the resulting L-shaped distributions, with the
+// paper's relative-error metric, and L-shape statistics (median vs.
+// mean, mass concentration) used by the competition model of Section 3.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBins is the default discretization granularity.
+const DefaultBins = 512
+
+// Dist is a probability mass function over n equal bins of [0,1].
+// Bin i covers [i/n, (i+1)/n) with representative point (i+0.5)/n.
+type Dist struct {
+	w []float64
+}
+
+// NewZero returns an all-zero mass function with n bins (not a valid
+// distribution until mass is added and Normalize is called).
+func NewZero(n int) *Dist {
+	if n <= 0 {
+		n = DefaultBins
+	}
+	return &Dist{w: make([]float64, n)}
+}
+
+// Uniform returns the uniform distribution on [0,1] with n bins — the
+// paper's model of a totally unknown selectivity.
+func Uniform(n int) *Dist {
+	d := NewZero(n)
+	m := 1.0 / float64(len(d.w))
+	for i := range d.w {
+		d.w[i] = m
+	}
+	return d
+}
+
+// Point returns a distribution with all mass at selectivity s — a
+// perfectly known selectivity.
+func Point(n int, s float64) *Dist {
+	d := NewZero(n)
+	d.w[d.binOf(s)] = 1
+	return d
+}
+
+// Bell returns a truncated normal distribution with the given mean and
+// standard deviation, renormalized on [0,1] — the paper's model of "an
+// estimation with mean m and error e" (Figure 2.2 uses m=0.2, e=0.005).
+func Bell(n int, mean, sd float64) *Dist {
+	d := NewZero(n)
+	if sd <= 0 {
+		return Point(n, mean)
+	}
+	for i := range d.w {
+		s := d.center(i)
+		z := (s - mean) / sd
+		d.w[i] = math.Exp(-z * z / 2)
+	}
+	d.Normalize()
+	return d
+}
+
+// FromWeights builds a distribution from raw nonnegative weights,
+// normalizing them.
+func FromWeights(w []float64) (*Dist, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("dist: empty weight vector")
+	}
+	d := &Dist{w: append([]float64(nil), w...)}
+	var sum float64
+	for _, x := range d.w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("dist: invalid weight %v", x)
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("dist: zero total mass")
+	}
+	d.Normalize()
+	return d, nil
+}
+
+// N returns the number of bins.
+func (d *Dist) N() int { return len(d.w) }
+
+// Mass returns the probability mass of bin i.
+func (d *Dist) Mass(i int) float64 { return d.w[i] }
+
+// Density returns the probability density at bin i (mass / bin width).
+func (d *Dist) Density(i int) float64 { return d.w[i] * float64(len(d.w)) }
+
+// center returns the representative selectivity of bin i.
+func (d *Dist) center(i int) float64 { return (float64(i) + 0.5) / float64(len(d.w)) }
+
+// Center is the exported representative selectivity of bin i.
+func (d *Dist) Center(i int) float64 { return d.center(i) }
+
+// binOf maps a selectivity in [0,1] to its bin.
+func (d *Dist) binOf(s float64) int {
+	n := len(d.w)
+	i := int(s * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Normalize rescales mass to sum to 1.
+func (d *Dist) Normalize() {
+	var sum float64
+	for _, x := range d.w {
+		sum += x
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range d.w {
+		d.w[i] /= sum
+	}
+}
+
+// TotalMass returns the sum of bin masses (1 for a valid distribution,
+// up to rounding).
+func (d *Dist) TotalMass() float64 {
+	var sum float64
+	for _, x := range d.w {
+		sum += x
+	}
+	return sum
+}
+
+// Clone returns a deep copy.
+func (d *Dist) Clone() *Dist {
+	return &Dist{w: append([]float64(nil), d.w...)}
+}
+
+// Mean returns the expected selectivity.
+func (d *Dist) Mean() float64 {
+	var m float64
+	for i, x := range d.w {
+		m += x * d.center(i)
+	}
+	return m
+}
+
+// Variance returns the selectivity variance.
+func (d *Dist) Variance() float64 {
+	m := d.Mean()
+	var v float64
+	for i, x := range d.w {
+		dd := d.center(i) - m
+		v += x * dd * dd
+	}
+	return v
+}
+
+// StdDev returns the selectivity standard deviation.
+func (d *Dist) StdDev() float64 { return math.Sqrt(d.Variance()) }
+
+// CDF returns P(S <= s).
+func (d *Dist) CDF(s float64) float64 {
+	var c float64
+	for i, x := range d.w {
+		if d.center(i) <= s {
+			c += x
+		} else {
+			break
+		}
+	}
+	return c
+}
+
+// Quantile returns the smallest bin-center s with CDF(s) >= p.
+func (d *Dist) Quantile(p float64) float64 {
+	var c float64
+	for i, x := range d.w {
+		c += x
+		if c >= p {
+			return d.center(i)
+		}
+	}
+	return 1
+}
+
+// Median is Quantile(0.5).
+func (d *Dist) Median() float64 { return d.Quantile(0.5) }
+
+// MassIn returns the probability mass within [lo, hi].
+func (d *Dist) MassIn(lo, hi float64) float64 {
+	var m float64
+	for i, x := range d.w {
+		if s := d.center(i); s >= lo && s <= hi {
+			m += x
+		}
+	}
+	return m
+}
+
+// MaxDensity returns the maximum bin density.
+func (d *Dist) MaxDensity() float64 {
+	var mx float64
+	for i := range d.w {
+		if dd := d.Density(i); dd > mx {
+			mx = dd
+		}
+	}
+	return mx
+}
+
+// MinDensity returns the minimum bin density.
+func (d *Dist) MinDensity() float64 {
+	mn := math.Inf(1)
+	for i := range d.w {
+		if dd := d.Density(i); dd < mn {
+			mn = dd
+		}
+	}
+	return mn
+}
+
+// LShape summarizes how L-shaped a distribution is, the property the
+// competition model of Section 3 exploits.
+type LShape struct {
+	Mean     float64
+	Median   float64
+	Q10, Q90 float64
+	// HeadMass is the probability mass below one tenth of the mean —
+	// an L-shape concentrates a large mass there.
+	HeadMass float64
+	// Skew is a robust skewness proxy: (mean - median) / stddev.
+	Skew float64
+}
+
+// LShapeStats computes the summary.
+func (d *Dist) LShapeStats() LShape {
+	mean := d.Mean()
+	sd := d.StdDev()
+	sk := 0.0
+	if sd > 0 {
+		sk = (mean - d.Median()) / sd
+	}
+	return LShape{
+		Mean:     mean,
+		Median:   d.Median(),
+		Q10:      d.Quantile(0.1),
+		Q90:      d.Quantile(0.9),
+		HeadMass: d.CDF(mean / 10),
+		Skew:     sk,
+	}
+}
+
+// Rebin resamples the distribution to n bins, preserving mass.
+func (d *Dist) Rebin(n int) *Dist {
+	out := NewZero(n)
+	for i, x := range d.w {
+		out.w[out.binOf(d.center(i))] += x
+	}
+	return out
+}

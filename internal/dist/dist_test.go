@@ -1,0 +1,382 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+const tol = 1e-9
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestUniformBasics(t *testing.T) {
+	d := Uniform(100)
+	if !approx(d.TotalMass(), 1, tol) {
+		t.Fatalf("mass = %v", d.TotalMass())
+	}
+	if !approx(d.Mean(), 0.5, 1e-6) {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	// Var of uniform = 1/12.
+	if !approx(d.Variance(), 1.0/12, 1e-3) {
+		t.Fatalf("var = %v", d.Variance())
+	}
+	if !approx(d.Median(), 0.5, 0.02) {
+		t.Fatalf("median = %v", d.Median())
+	}
+}
+
+func TestPointAndBell(t *testing.T) {
+	p := Point(256, 0.3)
+	if !approx(p.Mean(), 0.3, 0.01) || p.Variance() > 1e-4 {
+		t.Fatalf("point: mean=%v var=%v", p.Mean(), p.Variance())
+	}
+	b := Bell(512, 0.2, 0.02)
+	if !approx(b.Mean(), 0.2, 0.005) {
+		t.Fatalf("bell mean = %v", b.Mean())
+	}
+	if !approx(b.StdDev(), 0.02, 0.005) {
+		t.Fatalf("bell sd = %v", b.StdDev())
+	}
+	if !approx(b.TotalMass(), 1, tol) {
+		t.Fatalf("bell mass = %v", b.TotalMass())
+	}
+}
+
+func TestFromWeightsValidation(t *testing.T) {
+	if _, err := FromWeights(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FromWeights([]float64{0, 0}); err == nil {
+		t.Fatal("zero mass accepted")
+	}
+	if _, err := FromWeights([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	d, err := FromWeights([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(d.Mass(1), 0.75, tol) {
+		t.Fatalf("normalization wrong: %v", d.Mass(1))
+	}
+}
+
+func TestNotIsMirror(t *testing.T) {
+	d := Bell(256, 0.2, 0.05)
+	n := d.Not()
+	if !approx(n.Mean(), 0.8, 0.01) {
+		t.Fatalf("mirror mean = %v", n.Mean())
+	}
+	// Double negation restores.
+	nn := n.Not()
+	for i := 0; i < d.N(); i++ {
+		if !approx(nn.Mass(i), d.Mass(i), tol) {
+			t.Fatalf("double Not diverges at bin %d", i)
+		}
+	}
+}
+
+func TestCorrSelectivityEndpoints(t *testing.T) {
+	sx, sy := 0.6, 0.7
+	if !approx(CorrSelectivity(sx, sy, 0), 0.42, tol) {
+		t.Fatal("independence")
+	}
+	if !approx(CorrSelectivity(sx, sy, 1), 0.6, tol) {
+		t.Fatal("+1 correlation = min")
+	}
+	if !approx(CorrSelectivity(sx, sy, -1), 0.3, tol) {
+		t.Fatal("-1 correlation = max(0, sx+sy-1)")
+	}
+	// Interpolation midpoints.
+	if !approx(CorrSelectivity(sx, sy, 0.5), (0.42+0.6)/2, tol) {
+		t.Fatal("+0.5 interpolation")
+	}
+	if !approx(CorrSelectivity(sx, sy, -0.5), (0.42+0.3)/2, tol) {
+		t.Fatal("-0.5 interpolation")
+	}
+	// Clamp at zero for small selectivities.
+	if CorrSelectivity(0.1, 0.2, -1) != 0 {
+		t.Fatal("negative-correlation floor")
+	}
+}
+
+func TestAndCPointOperands(t *testing.T) {
+	x := Point(512, 0.5)
+	y := Point(512, 0.4)
+	got, err := AndC(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.Mean(), 0.2, 0.01) {
+		t.Fatalf("point AND mean = %v, want 0.2", got.Mean())
+	}
+	if got.StdDev() > 0.01 {
+		t.Fatalf("point AND should stay a point, sd=%v", got.StdDev())
+	}
+}
+
+func TestAndCMassConservation(t *testing.T) {
+	x := Uniform(256)
+	for _, c := range []float64{-1, -0.9, -0.5, 0, 0.5, 1} {
+		got, err := AndC(x, x, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got.TotalMass(), 1, 1e-9) {
+			t.Fatalf("c=%v: mass=%v", c, got.TotalMass())
+		}
+	}
+}
+
+func TestAndUnknownMassConservation(t *testing.T) {
+	x := Uniform(256)
+	got, err := And(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.TotalMass(), 1, 1e-9) {
+		t.Fatalf("mass=%v", got.TotalMass())
+	}
+}
+
+func TestAndShiftsMassTowardZero(t *testing.T) {
+	x := Uniform(512)
+	and, err := SelfAnd(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if and.Mean() >= x.Mean() {
+		t.Fatalf("AND must lower the mean: %v >= %v", and.Mean(), x.Mean())
+	}
+	if and.Median() >= x.Median() {
+		t.Fatalf("AND must lower the median")
+	}
+	// Paper (B): ANDs concentrate mass near zero.
+	if and.CDF(0.25) < x.CDF(0.25) {
+		t.Fatal("AND must concentrate mass at the low end")
+	}
+}
+
+func TestOrMirrorsAnd(t *testing.T) {
+	x := Uniform(256)
+	and, err := SelfAnd(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := SelfOr(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := x.N()
+	for i := 0; i < n; i++ {
+		if !approx(or.Mass(i), and.Mass(n-1-i), 1e-9) {
+			t.Fatalf("OR is not the mirror of AND at bin %d: %v vs %v", i, or.Mass(i), and.Mass(n-1-i))
+		}
+	}
+}
+
+func TestDeMorganConsistencyFixedCorrelation(t *testing.T) {
+	// For distributions, OrC is defined via De Morgan; check the
+	// resulting mean matches the algebraic identity for independent
+	// point selectivities: s_or = sx + sy - sx*sy.
+	x := Point(512, 0.3)
+	y := Point(512, 0.5)
+	or, err := OrC(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 + 0.5 - 0.15
+	if !approx(or.Mean(), want, 0.01) {
+		t.Fatalf("OR mean = %v, want %v", or.Mean(), want)
+	}
+}
+
+func TestBalancedAndOrRestoresSymmetry(t *testing.T) {
+	// Paper: "A mixture of equal numbers of ANDs/ORs restores the
+	// original symmetry ... near uniform distribution." The restoration
+	// is in shape — skewness shrinks and the density flattens back
+	// toward uniform — not in the mean (E[(X&Y)|Z] = 0.625 for
+	// independent uniforms).
+	x := Uniform(256)
+	and, err := Apply("&", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := Apply("|&", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs := math.Abs(bal.LShapeStats().Skew); abs >= math.Abs(and.LShapeStats().Skew)/2 {
+		t.Fatalf("balanced mix should halve the skew: |&X %v vs &X %v",
+			bal.LShapeStats().Skew, and.LShapeStats().Skew)
+	}
+	if bal.MaxDensity() >= and.MaxDensity()/2 {
+		t.Fatalf("balanced mix should flatten density: %v vs %v",
+			bal.MaxDensity(), and.MaxDensity())
+	}
+	if bal.StdDev() < 0.8*x.StdDev() {
+		t.Fatalf("balanced mix spread %v should approach uniform's %v",
+			bal.StdDev(), x.StdDev())
+	}
+	// And the |&X / &|X pair are mirror images of each other.
+	mir, err := Apply("&|", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(bal.Mean(), 1-mir.Mean(), 0.01) {
+		t.Fatalf("|&X and &|X must mirror: %v vs %v", bal.Mean(), mir.Mean())
+	}
+}
+
+func TestSkewnessGrowsWithChainLength(t *testing.T) {
+	x := Uniform(256)
+	var prevMedian = 1.0
+	for _, ops := range []string{"&", "&&", "&&&"} {
+		d, err := Apply(ops, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := d.LShapeStats()
+		if st.Median >= prevMedian {
+			t.Fatalf("%sX median %v did not shrink (prev %v)", ops, st.Median, prevMedian)
+		}
+		prevMedian = st.Median
+	}
+}
+
+func TestCorrelationDecreaseIncreasesSkew(t *testing.T) {
+	// Paper: skewness increases "upon correlation decrease".
+	x := Uniform(256)
+	d1, _ := ApplyC("&", x, 1)   // min(sx,sy): moderate
+	d0, _ := ApplyC("&", x, 0)   // product: more skew
+	dm, _ := ApplyC("&", x, -.9) // near-disjoint: most skew
+	if !(d1.Median() > d0.Median() && d0.Median() > dm.Median()) {
+		t.Fatalf("medians not decreasing with correlation: %v, %v, %v",
+			d1.Median(), d0.Median(), dm.Median())
+	}
+}
+
+func TestBellDegradation(t *testing.T) {
+	// Paper Figure 2.2 processes: a single AND on a tight bell far from
+	// the interval ends inflates the spread to the order of the
+	// distance from zero.
+	x := Bell(512, 0.2, 0.005)
+	d, err := SelfAnd(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StdDev() < 10*x.StdDev() {
+		t.Fatalf("single AND must blow up the spread: %v -> %v", x.StdDev(), d.StdDev())
+	}
+	// Repeated ORs spread the bell away from zero, roughly doubling.
+	or1, _ := SelfOr(x)
+	or2, _ := Or(or1, x)
+	if !(or2.Mean() > or1.Mean() && or1.Mean() > x.Mean()) {
+		t.Fatal("ORs must push the bell upward")
+	}
+}
+
+func TestApplyUnknownOperator(t *testing.T) {
+	if _, err := Apply("&?", Uniform(64)); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+	if _, err := ApplyC("x", Uniform(64), 0); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+}
+
+func TestBinMismatchRejected(t *testing.T) {
+	if _, err := And(Uniform(64), Uniform(128)); err == nil {
+		t.Fatal("bin mismatch accepted")
+	}
+	if _, err := AndC(Uniform(64), Uniform(128), 0); err == nil {
+		t.Fatal("bin mismatch accepted")
+	}
+}
+
+func TestQuantileAndMassIn(t *testing.T) {
+	d := Uniform(100)
+	if q := d.Quantile(0.25); !approx(q, 0.25, 0.02) {
+		t.Fatalf("q25 = %v", q)
+	}
+	if m := d.MassIn(0.2, 0.4); !approx(m, 0.2, 0.03) {
+		t.Fatalf("MassIn = %v", m)
+	}
+}
+
+func TestRebinPreservesMassAndShape(t *testing.T) {
+	d := Bell(512, 0.3, 0.1)
+	r := d.Rebin(64)
+	if !approx(r.TotalMass(), 1, tol) {
+		t.Fatalf("rebinned mass = %v", r.TotalMass())
+	}
+	if !approx(r.Mean(), d.Mean(), 0.02) {
+		t.Fatalf("rebinned mean = %v vs %v", r.Mean(), d.Mean())
+	}
+}
+
+func TestHyperbolaFitOnExactHyperbola(t *testing.T) {
+	// Build a distribution whose density is exactly a hyperbola; the
+	// fit should recover it with tiny relative error.
+	n := 256
+	w := make([]float64, n)
+	h := Hyperbola{A: 0.05, B: 0.02, C: 0.1}
+	for i := range w {
+		s := (float64(i) + 0.5) / float64(n)
+		w[i] = h.At(s)
+	}
+	d, err := FromWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := FitHyperbola(d)
+	if fit.RelError > 0.02 {
+		t.Fatalf("exact hyperbola fit error = %v", fit.RelError)
+	}
+}
+
+func TestHyperbolaFitErrorsMatchPaperShape(t *testing.T) {
+	// Paper: truncated hyperbolas fit &X with relative error ~1/4,
+	// &&X ~1/7, &&&X ~1/23 — i.e. the fit improves as AND chains grow.
+	x := Uniform(256)
+	var prev = math.Inf(1)
+	errs := map[string]float64{}
+	for _, ops := range []string{"&", "&&", "&&&"} {
+		d, err := Apply(ops, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit := FitHyperbola(d)
+		errs[ops] = fit.RelError
+		if fit.RelError >= prev {
+			t.Fatalf("fit error must improve along the chain: %v then %v", prev, fit.RelError)
+		}
+		prev = fit.RelError
+	}
+	// Loose absolute sanity versus the paper's numbers.
+	if errs["&"] > 0.5 {
+		t.Fatalf("&X fit error %v too large (paper ~0.25)", errs["&"])
+	}
+	if errs["&&&"] > 0.15 {
+		t.Fatalf("&&&X fit error %v too large (paper ~0.04)", errs["&&&"])
+	}
+}
+
+func TestLShapeStats(t *testing.T) {
+	x := Uniform(256)
+	and3, err := Apply("&&&", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := and3.LShapeStats()
+	if st.Median >= st.Mean {
+		t.Fatalf("L-shape must have median < mean: %+v", st)
+	}
+	if st.Skew <= 0 {
+		t.Fatalf("L-shape skew must be positive: %+v", st)
+	}
+	if st.HeadMass < 0.2 {
+		t.Fatalf("L-shape concentrates mass near zero: head mass %v", st.HeadMass)
+	}
+}

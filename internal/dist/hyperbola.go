@@ -1,0 +1,137 @@
+package dist
+
+import "math"
+
+// Hyperbola is the truncated hyperbola h(s) = A/(s+B) + C used by the
+// paper to approximate the skewed selectivity distributions produced by
+// disbalanced AND/OR chains.
+type Hyperbola struct {
+	A, B, C float64
+}
+
+// At evaluates the hyperbola density at selectivity s.
+func (h Hyperbola) At(s float64) float64 { return h.A/(s+h.B) + h.C }
+
+// FitResult reports a hyperbola fit and the paper's relative-error
+// metric: max_s |p(s)-h(s)| / (max_s p(s) - min_s p(s)).
+type FitResult struct {
+	Hyperbola Hyperbola
+	RelError  float64
+}
+
+// FitHyperbola fits a truncated hyperbola to the distribution's density
+// and returns the fit minimizing the paper's relative error. The search
+// uses a log grid over the pole offset B; for each B, A and C start at
+// their least-squares values and are refined by coordinate descent on
+// the max deviation.
+func FitHyperbola(d *Dist) FitResult {
+	best := FitResult{RelError: math.Inf(1)}
+	n := d.N()
+	dens := make([]float64, n)
+	for i := range dens {
+		dens[i] = d.Density(i)
+	}
+	span := densitySpan(dens)
+	if span == 0 {
+		// Constant density: a flat hyperbola (A=0) fits exactly.
+		return FitResult{Hyperbola: Hyperbola{A: 0, B: 1, C: dens[0]}, RelError: 0}
+	}
+	for exp := -4.0; exp <= 1.0; exp += 0.125 {
+		b := math.Pow(10, exp)
+		h := leastSquaresAC(d, dens, b)
+		h = refineAC(d, dens, h)
+		if e := relError(d, dens, h, span); e < best.RelError {
+			best = FitResult{Hyperbola: h, RelError: e}
+		}
+	}
+	// Local refinement of B around the winner.
+	for step := best.Hyperbola.B / 2; step > best.Hyperbola.B/64; step /= 2 {
+		for _, b := range []float64{best.Hyperbola.B - step, best.Hyperbola.B + step} {
+			if b <= 0 {
+				continue
+			}
+			h := leastSquaresAC(d, dens, b)
+			h = refineAC(d, dens, h)
+			if e := relError(d, dens, h, span); e < best.RelError {
+				best = FitResult{Hyperbola: h, RelError: e}
+			}
+		}
+	}
+	return best
+}
+
+func densitySpan(dens []float64) float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, x := range dens {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx - mn
+}
+
+// leastSquaresAC solves min sum (A*g_i + C - p_i)^2 for fixed B, with
+// g_i = 1/(s_i+B).
+func leastSquaresAC(d *Dist, dens []float64, b float64) Hyperbola {
+	var sg, sgg, sp, sgp float64
+	n := float64(len(dens))
+	for i, p := range dens {
+		g := 1 / (d.center(i) + b)
+		sg += g
+		sgg += g * g
+		sp += p
+		sgp += g * p
+	}
+	det := n*sgg - sg*sg
+	if det == 0 {
+		return Hyperbola{A: 0, B: b, C: sp / n}
+	}
+	a := (n*sgp - sg*sp) / det
+	c := (sp - a*sg) / n
+	return Hyperbola{A: a, B: b, C: c}
+}
+
+// refineAC performs coordinate descent on A and C to reduce the max
+// absolute deviation.
+func refineAC(d *Dist, dens []float64, h Hyperbola) Hyperbola {
+	cur := maxDev(d, dens, h)
+	stepA := math.Abs(h.A)/4 + 1e-6
+	stepC := math.Abs(h.C)/4 + 1e-6
+	for iter := 0; iter < 60; iter++ {
+		improved := false
+		for _, cand := range []Hyperbola{
+			{h.A + stepA, h.B, h.C}, {h.A - stepA, h.B, h.C},
+			{h.A, h.B, h.C + stepC}, {h.A, h.B, h.C - stepC},
+		} {
+			if e := maxDev(d, dens, cand); e < cur {
+				h, cur = cand, e
+				improved = true
+			}
+		}
+		if !improved {
+			stepA /= 2
+			stepC /= 2
+			if stepA < 1e-9 && stepC < 1e-9 {
+				break
+			}
+		}
+	}
+	return h
+}
+
+func maxDev(d *Dist, dens []float64, h Hyperbola) float64 {
+	var mx float64
+	for i, p := range dens {
+		if dev := math.Abs(p - h.At(d.center(i))); dev > mx {
+			mx = dev
+		}
+	}
+	return mx
+}
+
+func relError(d *Dist, dens []float64, h Hyperbola, span float64) float64 {
+	return maxDev(d, dens, h) / span
+}

@@ -1,0 +1,213 @@
+package dist
+
+import "fmt"
+
+// CorrSelectivity returns the combined selectivity of X AND Y for
+// operand selectivities sx, sy under an assumed correlation c in
+// [-1, +1], linearly interpolating between
+//
+//	c = -1: max(0, sx+sy-1)   (smallest possible intersection)
+//	c =  0: sx * sy           (independence)
+//	c = +1: min(sx, sy)       (largest possible intersection)
+//
+// exactly as defined in the paper's Section 2.
+func CorrSelectivity(sx, sy, c float64) float64 {
+	ind := sx * sy
+	if c >= 0 {
+		hi := sx
+		if sy < sx {
+			hi = sy
+		}
+		return ind + c*(hi-ind)
+	}
+	lo := sx + sy - 1
+	if lo < 0 {
+		lo = 0
+	}
+	return ind + (-c)*(lo-ind)
+}
+
+// Not returns the distribution of ~X: the mirror symmetry p(1-s).
+func (d *Dist) Not() *Dist {
+	n := len(d.w)
+	out := NewZero(n)
+	for i, x := range d.w {
+		out.w[n-1-i] = x
+	}
+	return out
+}
+
+// AndC returns the distribution of X AND Y under assumed correlation c,
+// treating X and Y as independent random *estimates* (their selectivity
+// uncertainties are independent even when the predicate overlap is
+// correlated). Each weighted point pair (sx, wx) x (sy, wy) contributes
+// wx*wy at CorrSelectivity(sx, sy, c).
+func AndC(x, y *Dist, c float64) (*Dist, error) {
+	if x.N() != y.N() {
+		return nil, fmt.Errorf("dist: bin count mismatch %d vs %d", x.N(), y.N())
+	}
+	out := NewZero(x.N())
+	for i, wx := range x.w {
+		if wx == 0 {
+			continue
+		}
+		sx := x.center(i)
+		for j, wy := range y.w {
+			if wy == 0 {
+				continue
+			}
+			out.w[out.binOf(CorrSelectivity(sx, x.center(j), c))] += wx * wy
+		}
+	}
+	return out, nil
+}
+
+// And returns the distribution of X AND Y under the unknown-correlation
+// assumption: a uniform mixture of correlations c over [-1, +1].
+//
+// For a fixed operand pair (sx, sy), the combined selectivity is
+// piecewise linear in c: it sweeps [max(0,sx+sy-1), sx*sy] for c in
+// [-1,0] and [sx*sy, min(sx,sy)] for c in [0,+1]. A uniform mixture of
+// c therefore spreads half the pair's weight uniformly over each
+// segment, which this implementation does exactly (no sampling of c).
+func And(x, y *Dist) (*Dist, error) {
+	if x.N() != y.N() {
+		return nil, fmt.Errorf("dist: bin count mismatch %d vs %d", x.N(), y.N())
+	}
+	out := NewZero(x.N())
+	for i, wx := range x.w {
+		if wx == 0 {
+			continue
+		}
+		sx := x.center(i)
+		for j, wy := range y.w {
+			if wy == 0 {
+				continue
+			}
+			sy := y.center(j)
+			w := wx * wy
+			ind := sx * sy
+			lo := sx + sy - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := sx
+			if sy < sx {
+				hi = sy
+			}
+			out.spread(lo, ind, w/2)
+			out.spread(ind, hi, w/2)
+		}
+	}
+	return out, nil
+}
+
+// spread distributes mass w uniformly over the selectivity interval
+// [a, b] (a <= b), allocating to bins proportionally to overlap. A
+// degenerate interval becomes a point mass.
+func (d *Dist) spread(a, b, w float64) {
+	n := float64(len(d.w))
+	if b-a < 1e-12 {
+		d.w[d.binOf((a+b)/2)] += w
+		return
+	}
+	i0 := d.binOf(a)
+	i1 := d.binOf(b)
+	if i0 == i1 {
+		d.w[i0] += w
+		return
+	}
+	inv := w / (b - a)
+	for i := i0; i <= i1; i++ {
+		binLo := float64(i) / n
+		binHi := float64(i+1) / n
+		lo := a
+		if binLo > lo {
+			lo = binLo
+		}
+		hi := b
+		if binHi < hi {
+			hi = binHi
+		}
+		if hi > lo {
+			d.w[i] += inv * (hi - lo)
+		}
+	}
+}
+
+// OrC returns the distribution of X OR Y under assumed correlation c,
+// via De Morgan: X|Y = ~(~X & ~Y). Note that the correlation of the
+// negated predicates equals the correlation of the originals on the
+// min/product/max scale, so the same c applies.
+func OrC(x, y *Dist, c float64) (*Dist, error) {
+	a, err := AndC(x.Not(), y.Not(), c)
+	if err != nil {
+		return nil, err
+	}
+	return a.Not(), nil
+}
+
+// Or returns the distribution of X OR Y under unknown correlation,
+// mirror-symmetric to And per the paper.
+func Or(x, y *Dist) (*Dist, error) {
+	a, err := And(x.Not(), y.Not())
+	if err != nil {
+		return nil, err
+	}
+	return a.Not(), nil
+}
+
+// SelfAnd is the paper's unary &X: X AND Y where Y has the same
+// distribution as X (an independent estimate), under unknown
+// correlation.
+func SelfAnd(x *Dist) (*Dist, error) { return And(x, x) }
+
+// SelfOr is the paper's unary |X under unknown correlation.
+func SelfOr(x *Dist) (*Dist, error) { return Or(x, x) }
+
+// Apply evaluates a chain of unary operators written in the paper's
+// notation, e.g. "&&&" applies SelfAnd three times, "|||&" applies
+// SelfAnd then SelfOr three times (operators apply right to left, as in
+// the paper's figures: |||||&X means & first, then five |).
+func Apply(ops string, x *Dist) (*Dist, error) {
+	d := x
+	var err error
+	for i := len(ops) - 1; i >= 0; i-- {
+		switch ops[i] {
+		case '&':
+			d, err = And(d, x)
+		case '|':
+			d, err = Or(d, x)
+		case '~':
+			d = d.Not()
+		default:
+			return nil, fmt.Errorf("dist: unknown operator %q", ops[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// ApplyC is Apply under a fixed correlation assumption.
+func ApplyC(ops string, x *Dist, c float64) (*Dist, error) {
+	d := x
+	var err error
+	for i := len(ops) - 1; i >= 0; i-- {
+		switch ops[i] {
+		case '&':
+			d, err = AndC(d, x, c)
+		case '|':
+			d, err = OrC(d, x, c)
+		case '~':
+			d = d.Not()
+		default:
+			return nil, fmt.Errorf("dist: unknown operator %q", ops[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDist builds a valid random distribution from quick-generated
+// weights.
+func randDist(raw []float64, n int) *Dist {
+	w := make([]float64, n)
+	any := false
+	for i := range w {
+		if i < len(raw) {
+			v := math.Abs(raw[i])
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v < 1e12 {
+				w[i] = v
+			}
+		}
+		if w[i] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		w[0] = 1
+	}
+	d, _ := FromWeights(w)
+	return d
+}
+
+// Property: every AND/OR transform conserves probability mass.
+func TestQuickMassConservation(t *testing.T) {
+	f := func(rawX, rawY []float64, corrSeed int64) bool {
+		x := randDist(rawX, 64)
+		y := randDist(rawY, 64)
+		rng := rand.New(rand.NewSource(corrSeed))
+		c := rng.Float64()*2 - 1
+		ac, err := AndC(x, y, c)
+		if err != nil || math.Abs(ac.TotalMass()-1) > 1e-9 {
+			return false
+		}
+		oc, err := OrC(x, y, c)
+		if err != nil || math.Abs(oc.TotalMass()-1) > 1e-9 {
+			return false
+		}
+		au, err := And(x, y)
+		if err != nil || math.Abs(au.TotalMass()-1) > 1e-9 {
+			return false
+		}
+		return math.Abs(x.Not().TotalMass()-1) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan mirror symmetry holds for arbitrary operand
+// distributions: Or(x,y) is the bin-wise mirror of And(~x,~y).
+func TestQuickDeMorganMirror(t *testing.T) {
+	f := func(rawX, rawY []float64) bool {
+		x := randDist(rawX, 64)
+		y := randDist(rawY, 64)
+		or, err := Or(x, y)
+		if err != nil {
+			return false
+		}
+		and, err := And(x.Not(), y.Not())
+		if err != nil {
+			return false
+		}
+		n := x.N()
+		for i := 0; i < n; i++ {
+			if math.Abs(or.Mass(i)-and.Mass(n-1-i)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AND under +1 correlation dominates (stochastically) AND
+// under independence, which dominates AND under -1 correlation: the
+// CDFs are ordered.
+func TestQuickCorrelationMonotonicity(t *testing.T) {
+	f := func(rawX, rawY []float64) bool {
+		x := randDist(rawX, 64)
+		y := randDist(rawY, 64)
+		hi, err := AndC(x, y, 1)
+		if err != nil {
+			return false
+		}
+		mid, err := AndC(x, y, 0)
+		if err != nil {
+			return false
+		}
+		lo, err := AndC(x, y, -1)
+		if err != nil {
+			return false
+		}
+		// CDF(lo) >= CDF(mid) >= CDF(hi) pointwise (lower correlation
+		// pushes selectivity toward zero).
+		var cl, cm, ch float64
+		for i := 0; i < x.N(); i++ {
+			cl += lo.Mass(i)
+			cm += mid.Mass(i)
+			ch += hi.Mass(i)
+			if cl < cm-1e-9 || cm < ch-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CorrSelectivity stays within the Fréchet bounds and is
+// monotone in c for any operand pair.
+func TestQuickCorrSelectivityBounds(t *testing.T) {
+	f := func(a, b, c1, c2 float64) bool {
+		sx := math.Abs(math.Mod(a, 1))
+		sy := math.Abs(math.Mod(b, 1))
+		cA := math.Mod(math.Abs(c1), 2) - 1
+		cB := math.Mod(math.Abs(c2), 2) - 1
+		if math.IsNaN(sx) || math.IsNaN(sy) || math.IsNaN(cA) || math.IsNaN(cB) {
+			return true
+		}
+		lo := math.Max(0, sx+sy-1)
+		hi := math.Min(sx, sy)
+		vA := CorrSelectivity(sx, sy, cA)
+		vB := CorrSelectivity(sx, sy, cB)
+		if vA < lo-1e-12 || vA > hi+1e-12 {
+			return false
+		}
+		if cA <= cB && vA > vB+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := Open(Options{PoolFrames: 512})
+	_, err := db.CreateTable("T",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "AGE", Type: expr.TypeInt},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.CreateIndex("T", "AGE_IX", "AGE"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("T", i, int(rng.Int63n(10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkPreparedPointQuery measures the end-to-end per-run cost of
+// the dynamic optimizer on a short OLTP-style retrieval: initial-stage
+// estimation, tactic choice, and delivery of a handful of rows.
+func BenchmarkPreparedPointQuery(b *testing.B) {
+	db := benchDB(b, 50000)
+	stmt, err := db.Prepare("SELECT * FROM T WHERE AGE = :A")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := stmt.Query(Binds{"A": int(rng.Int63n(10000))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrepareOnly measures parse + compile.
+func BenchmarkPrepareOnly(b *testing.B) {
+	db := benchDB(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Prepare("SELECT ID FROM T WHERE AGE BETWEEN 5 AND 10 ORDER BY AGE LIMIT 3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

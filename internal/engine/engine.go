@@ -1,0 +1,637 @@
+// Package engine is the public façade of the reproduction: an embedded
+// single-user database with the paper's dynamic single-table optimizer
+// as its executor, plus the traditional static optimizer as a frozen
+// baseline.
+//
+// Typical use:
+//
+//	db := engine.Open(engine.Options{})
+//	tab, _ := db.CreateTable("FAMILIES",
+//	    catalog.Column{Name: "ID", Type: expr.TypeInt},
+//	    catalog.Column{Name: "AGE", Type: expr.TypeInt})
+//	db.CreateIndex("FAMILIES", "AGE_IX", "AGE")
+//	...load rows...
+//	stmt, _ := db.Prepare("SELECT * FROM FAMILIES WHERE AGE >= :A1")
+//	res, _ := stmt.Query(engine.Binds{"A1": 30})
+//	for { row, ok, _ := res.Next(); if !ok { break }; ... }
+//
+// Every Stmt.Query run re-optimizes dynamically with the current
+// bindings; Stmt.Freeze produces the static baseline that keeps one
+// plan forever.
+package engine
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/planner"
+	"rdbdyn/internal/sql"
+	"rdbdyn/internal/storage"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// PageSize in bytes (default storage.DefaultPageSize).
+	PageSize int
+	// PoolFrames caps the buffer pool (0 = unbounded). Bounded pools
+	// make random fetches genuinely expensive, as on the paper's
+	// hardware.
+	PoolFrames int
+	// Optimizer tunes the dynamic optimizer (zero value = defaults).
+	Optimizer core.Config
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	disk *storage.Disk
+	pool *storage.BufferPool
+	cat  *catalog.Catalog
+	opt  *core.Optimizer
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	disk := storage.NewDisk(opts.PageSize)
+	pool := storage.NewBufferPool(disk, opts.PoolFrames)
+	cfg := opts.Optimizer
+	if cfg.StepEntries == 0 {
+		cfg = core.DefaultConfig()
+	}
+	return &DB{
+		disk: disk,
+		pool: pool,
+		cat:  catalog.New(pool),
+		opt:  core.NewOptimizer(cfg),
+	}
+}
+
+// Catalog exposes the schema registry.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (I/O statistics live here).
+func (db *DB) Pool() *storage.BufferPool { return db.pool }
+
+// Optimizer exposes the dynamic optimizer for direct core.Query use.
+func (db *DB) Optimizer() *core.Optimizer { return db.opt }
+
+// CreateTable registers a table.
+func (db *DB) CreateTable(name string, cols ...catalog.Column) (*catalog.Table, error) {
+	return db.cat.CreateTable(name, cols)
+}
+
+// CreateIndex builds an index on an existing table.
+func (db *DB) CreateIndex(table, index string, cols ...string) (*catalog.Index, error) {
+	tab, err := db.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return tab.CreateIndex(index, cols...)
+}
+
+// Insert adds a row to a table. Values are converted like Binds.
+func (db *DB) Insert(table string, values ...any) error {
+	tab, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	row := make(expr.Row, len(values))
+	for i, v := range values {
+		row[i], err = toValue(v)
+		if err != nil {
+			return err
+		}
+	}
+	_, err = tab.Insert(row)
+	return err
+}
+
+// Binds maps host-variable names to Go values (int, int64, float64,
+// string, bool, or expr.Value).
+type Binds map[string]any
+
+func (b Binds) toBindings() (expr.Bindings, error) {
+	if b == nil {
+		return nil, nil
+	}
+	out := make(expr.Bindings, len(b))
+	for k, v := range b {
+		val, err := toValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bind %s: %w", k, err)
+		}
+		out[k] = val
+	}
+	return out, nil
+}
+
+func toValue(v any) (expr.Value, error) {
+	switch t := v.(type) {
+	case nil:
+		return expr.Null(), nil
+	case int:
+		return expr.Int(int64(t)), nil
+	case int32:
+		return expr.Int(int64(t)), nil
+	case int64:
+		return expr.Int(t), nil
+	case float64:
+		return expr.Float(t), nil
+	case string:
+		return expr.Str(t), nil
+	case bool:
+		return expr.Bool(t), nil
+	case expr.Value:
+		return t, nil
+	default:
+		return expr.Null(), fmt.Errorf("unsupported Go type %T", v)
+	}
+}
+
+// Stmt is a prepared statement executed with dynamic optimization: each
+// Query call re-plans with the run's bindings.
+type Stmt struct {
+	db       *DB
+	compiled *sql.Compiled
+}
+
+// Prepare parses and compiles a statement.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := sql.Compile(db.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, compiled: c}, nil
+}
+
+// CoreQuery returns a copy of the compiled core query (no bindings),
+// for plan inspection and direct core-level execution.
+func (s *Stmt) CoreQuery() *core.Query {
+	q := *s.compiled.Query
+	return &q
+}
+
+// Query runs the statement with the given bindings under the dynamic
+// optimizer. EXPLAIN statements return the plan description instead of
+// data rows.
+func (s *Stmt) Query(binds Binds) (*Result, error) {
+	bb, err := binds.toBindings()
+	if err != nil {
+		return nil, err
+	}
+	q := *s.compiled.Query
+	q.Binds = bb
+	if s.compiled.Explain {
+		return s.explain(&q)
+	}
+	rows := s.db.opt.Run(&q)
+	return newResult(s.db, s.compiled, rows)
+}
+
+// explain plans the retrieval with the current bindings, closes it
+// without executing the productive stages, and reports the decision as
+// (aspect, detail) rows, alongside the static optimizer's frozen choice
+// for contrast.
+func (s *Stmt) explain(q *core.Query) (*Result, error) {
+	rows := s.db.opt.Run(q)
+	st := rows.Stats()
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	out := [][2]string{
+		{"goal", q.EffectiveGoal().String()},
+		{"tactic", st.Tactic},
+		{"estimation I/O", fmt.Sprintf("%d", st.EstimateIO)},
+	}
+	for _, tr := range st.Trace {
+		out = append(out, [2]string{"plan", tr})
+	}
+	var staticPlan string
+	if plan, err := planner.Prepare(q); err == nil {
+		staticPlan = plan.String()
+	} else {
+		staticPlan = "error: " + err.Error()
+	}
+	out = append(out, [2]string{"static optimizer would freeze", staticPlan})
+	exp := make([]expr.Row, len(out))
+	for i, kv := range out {
+		exp[i] = expr.Row{expr.Str(kv[0]), expr.Str(kv[1])}
+	}
+	return &Result{
+		rows:    nil,
+		columns: []string{"aspect", "detail"},
+		explain: exp,
+	}, nil
+}
+
+// Freeze produces the static-optimizer baseline for this statement. If
+// binds is non-nil, the plan is chosen by estimating with those values
+// ("parameter sniffing"); otherwise compile-time default selectivities
+// apply. Either way the plan never changes again.
+func (s *Stmt) Freeze(binds Binds) (*FrozenStmt, error) {
+	bb, err := binds.toBindings()
+	if err != nil {
+		return nil, err
+	}
+	var plan *planner.Plan
+	if bb != nil {
+		plan, err = planner.PrepareSniffing(s.compiled.Query, bb)
+	} else {
+		plan, err = planner.Prepare(s.compiled.Query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &FrozenStmt{db: s.db, compiled: s.compiled, Plan: plan}, nil
+}
+
+// FrozenStmt executes one frozen plan for every run — the traditional
+// static optimizer the paper improves upon.
+type FrozenStmt struct {
+	db       *DB
+	compiled *sql.Compiled
+	Plan     *planner.Plan
+}
+
+// Query runs the frozen plan with the given bindings.
+func (f *FrozenStmt) Query(binds Binds) (*Result, error) {
+	bb, err := binds.toBindings()
+	if err != nil {
+		return nil, err
+	}
+	q := *f.compiled.Query
+	q.Binds = bb
+	rows := f.Plan.Execute(&q)
+	return newResult(f.db, f.compiled, rows)
+}
+
+// Query is Prepare + Query in one call.
+func (db *DB) Query(src string, binds Binds) (*Result, error) {
+	stmt, err := db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(binds)
+}
+
+// Result iterates a statement's rows. For COUNT(*) statements the
+// single result row holds the count; for EXISTS statements it holds a
+// boolean; for EXPLAIN statements the rows describe the plan.
+type Result struct {
+	rows    core.Rows
+	columns []string
+	count   bool
+	exists  bool
+	agg     *sql.Aggregate
+	counted bool
+	explain []expr.Row
+	expPos  int
+}
+
+func newResult(db *DB, c *sql.Compiled, rows core.Rows) (*Result, error) {
+	r := &Result{rows: rows, count: c.CountStar, exists: c.Exists, agg: c.Agg}
+	switch {
+	case c.Exists:
+		r.columns = []string{"EXISTS"}
+	case c.CountStar:
+		r.columns = []string{"COUNT(*)"}
+	case c.Agg != nil:
+		r.columns = []string{c.Agg.Kind + "(" + c.Agg.Col + ")"}
+	case c.Query.Projection == nil:
+		tab := c.Query.Table
+		for _, col := range tab.Columns {
+			r.columns = append(r.columns, col.Name)
+		}
+	default:
+		tab := c.Query.Table
+		for _, ci := range c.Query.Projection {
+			r.columns = append(r.columns, tab.Columns[ci].Name)
+		}
+	}
+	return r, nil
+}
+
+// Columns returns the result column names.
+func (r *Result) Columns() []string { return r.columns }
+
+// Next returns the next row; ok=false at end of data.
+func (r *Result) Next() (expr.Row, bool, error) {
+	if r.explain != nil {
+		if r.expPos >= len(r.explain) {
+			return nil, false, nil
+		}
+		row := r.explain[r.expPos]
+		r.expPos++
+		return row, true, nil
+	}
+	if r.exists {
+		if r.counted {
+			return nil, false, nil
+		}
+		r.counted = true
+		_, ok, err := r.rows.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Row{expr.Bool(ok)}, true, nil
+	}
+	if r.agg != nil {
+		if r.counted {
+			return nil, false, nil
+		}
+		r.counted = true
+		v, err := r.aggregate()
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Row{v}, true, nil
+	}
+	if r.count {
+		if r.counted {
+			return nil, false, nil
+		}
+		var n int64
+		for {
+			_, ok, err := r.rows.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		r.counted = true
+		return expr.Row{expr.Int(n)}, true, nil
+	}
+	return r.rows.Next()
+}
+
+// Close releases the retrieval.
+func (r *Result) Close() error {
+	if r.rows == nil {
+		return nil
+	}
+	return r.rows.Close()
+}
+
+// Stats reports what the executor did.
+func (r *Result) Stats() core.RetrievalStats {
+	if r.rows == nil {
+		return core.RetrievalStats{Tactic: "explain"}
+	}
+	return r.rows.Stats()
+}
+
+// All drains the result into a slice and closes it.
+func (r *Result) All() ([]expr.Row, error) {
+	var out []expr.Row
+	for {
+		row, ok, err := r.Next()
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	return out, r.Close()
+}
+
+// Bindings converts Binds to expression bindings (exported for harness
+// code that drives core-level execution with the same values).
+func (b Binds) Bindings() (expr.Bindings, error) { return b.toBindings() }
+
+// Exec runs a DML statement (INSERT INTO ... VALUES, DELETE FROM ...)
+// and returns the number of rows affected. Deletions evaluate the
+// restriction over a sequential scan (DML is outside the paper's
+// retrieval-optimization scope) and maintain every index.
+func (db *DB) Exec(src string, binds Binds) (int, error) {
+	stmt, err := sql.ParseStatement(src)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := binds.toBindings()
+	if err != nil {
+		return 0, err
+	}
+	switch t := stmt.(type) {
+	case *sql.InsertStmt:
+		return db.execInsert(t, bb)
+	case *sql.DeleteStmt:
+		return db.execDelete(t, bb)
+	case *sql.UpdateStmt:
+		return db.execUpdate(t, bb)
+	default:
+		return 0, fmt.Errorf("engine: Exec expects INSERT, UPDATE, or DELETE; use Query for SELECT")
+	}
+}
+
+func (db *DB) execInsert(stmt *sql.InsertStmt, bb expr.Bindings) (int, error) {
+	tab, err := db.cat.Table(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	inserted := 0
+	for _, nodes := range stmt.Rows {
+		row := make(expr.Row, len(nodes))
+		for i, nd := range nodes {
+			switch v := nd.(type) {
+			case sql.LitNode:
+				row[i] = v.V
+			case sql.ParamNode:
+				val, ok := bb[v.Name]
+				if !ok {
+					return inserted, fmt.Errorf("engine: unbound parameter :%s", v.Name)
+				}
+				row[i] = val
+			default:
+				return inserted, fmt.Errorf("engine: unsupported VALUES entry %T", nd)
+			}
+		}
+		if _, err := tab.Insert(row); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *DB) execDelete(stmt *sql.DeleteStmt, bb expr.Bindings) (int, error) {
+	tab, err := db.cat.Table(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	restriction, err := sql.CompileExpr(db.cat, stmt.Table, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	// Collect matching RIDs first, then delete, so the scan never
+	// observes its own modifications.
+	var victims []storage.RID
+	cur := tab.Heap.Cursor()
+	for {
+		rec, rid, ok, err := cur.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		row, err := expr.DecodeRow(rec)
+		if err != nil {
+			return 0, err
+		}
+		keep, err := expr.EvalPred(restriction, row, bb)
+		if err != nil {
+			return 0, err
+		}
+		if keep {
+			victims = append(victims, rid)
+		}
+	}
+	for i, rid := range victims {
+		if err := tab.Delete(rid); err != nil {
+			return i, err
+		}
+	}
+	return len(victims), nil
+}
+
+// aggregate drains the retrieval computing the requested aggregate.
+// NULLs are skipped; an empty input yields NULL (and 0 for SUM over an
+// integer column, matching common SQL engines is NOT attempted — NULL
+// keeps the semantics simple and explicit).
+func (r *Result) aggregate() (expr.Value, error) {
+	var (
+		sum      float64
+		sawInt   = true
+		min, max expr.Value
+		count    int64
+	)
+	for {
+		row, ok, err := r.rows.Next()
+		if err != nil {
+			return expr.Null(), err
+		}
+		if !ok {
+			break
+		}
+		v := row[0]
+		if v.IsNull() {
+			continue
+		}
+		f, numOK := v.AsFloat()
+		if !numOK {
+			return expr.Null(), fmt.Errorf("engine: %s over non-numeric value %s", r.agg.Kind, v)
+		}
+		if v.T != expr.TypeInt {
+			sawInt = false
+		}
+		sum += f
+		if count == 0 || expr.Compare(v, min) < 0 {
+			min = v
+		}
+		if count == 0 || expr.Compare(v, max) > 0 {
+			max = v
+		}
+		count++
+	}
+	if count == 0 {
+		return expr.Null(), nil
+	}
+	switch r.agg.Kind {
+	case "SUM":
+		if sawInt {
+			return expr.Int(int64(sum)), nil
+		}
+		return expr.Float(sum), nil
+	case "AVG":
+		return expr.Float(sum / float64(count)), nil
+	case "MIN":
+		return min, nil
+	case "MAX":
+		return max, nil
+	default:
+		return expr.Null(), fmt.Errorf("engine: unknown aggregate %s", r.agg.Kind)
+	}
+}
+
+func (db *DB) execUpdate(stmt *sql.UpdateStmt, bb expr.Bindings) (int, error) {
+	tab, err := db.cat.Table(stmt.Table)
+	if err != nil {
+		return 0, err
+	}
+	restriction, err := sql.CompileExpr(db.cat, stmt.Table, stmt.Where)
+	if err != nil {
+		return 0, err
+	}
+	type set struct {
+		col int
+		val expr.Value
+	}
+	sets := make([]set, len(stmt.Sets))
+	for i, sc := range stmt.Sets {
+		ci, err := tab.ColumnIndex(sc.Col)
+		if err != nil {
+			return 0, err
+		}
+		var v expr.Value
+		switch t := sc.Value.(type) {
+		case sql.LitNode:
+			v = t.V
+		case sql.ParamNode:
+			val, ok := bb[t.Name]
+			if !ok {
+				return 0, fmt.Errorf("engine: unbound parameter :%s", t.Name)
+			}
+			v = val
+		}
+		sets[i] = set{col: ci, val: v}
+	}
+	// Collect matching RIDs first so the scan never observes its own
+	// modifications (an updated row must not match again).
+	var victims []storage.RID
+	cur := tab.Heap.Cursor()
+	for {
+		rec, rid, ok, err := cur.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		row, err := expr.DecodeRow(rec)
+		if err != nil {
+			return 0, err
+		}
+		keep, err := expr.EvalPred(restriction, row, bb)
+		if err != nil {
+			return 0, err
+		}
+		if keep {
+			victims = append(victims, rid)
+		}
+	}
+	for i, rid := range victims {
+		row, err := tab.Fetch(rid)
+		if err != nil {
+			return i, err
+		}
+		newRow := row.Clone()
+		for _, sc := range sets {
+			newRow[sc.col] = sc.val
+		}
+		if err := tab.Update(rid, newRow); err != nil {
+			return i, err
+		}
+	}
+	return len(victims), nil
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"rdbdyn/internal/expr"
+)
+
+func TestExistsStatement(t *testing.T) {
+	db := newDB(t, 5000)
+	res, err := db.Query("EXISTS(SELECT * FROM FAMILIES WHERE AGE = 42)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns(); len(got) != 1 || got[0] != "EXISTS" {
+		t.Fatalf("columns = %v", got)
+	}
+	row, ok, err := res.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if !row[0].Truth() {
+		t.Fatal("AGE=42 exists in the fixture")
+	}
+	if _, ok, _ := res.Next(); ok {
+		t.Fatal("EXISTS must yield exactly one row")
+	}
+	res.Close()
+
+	res2, err := db.Query("EXISTS(SELECT * FROM FAMILIES WHERE AGE = 4200)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _, err = res2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Truth() {
+		t.Fatal("AGE=4200 must not exist")
+	}
+	res2.Close()
+}
+
+func TestExistsInfersFastFirst(t *testing.T) {
+	db := newDB(t, 100)
+	stmt, err := db.Prepare("EXISTS(SELECT * FROM FAMILIES WHERE AGE > 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stmt.CoreQuery()
+	if q.EffectiveGoal().String() != "FAST FIRST" {
+		t.Fatalf("EXISTS goal = %v", q.EffectiveGoal())
+	}
+	if q.Limit != 1 {
+		t.Fatalf("EXISTS limit = %d, want 1", q.Limit)
+	}
+}
+
+func TestExistsIsCheap(t *testing.T) {
+	db := newDB(t, 20000)
+	db.Pool().EvictAll()
+	db.Pool().ResetStats()
+	res, err := db.Query("EXISTS(SELECT * FROM FAMILIES WHERE AGE >= 10)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.All(); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Catalog().Table("FAMILIES")
+	if c := db.Pool().Stats().IOCost(); c > int64(tab.Pages())/4 {
+		t.Fatalf("EXISTS over a common predicate cost %d I/Os (pages %d)", c, tab.Pages())
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	db := newDB(t, 5000)
+	res, err := db.Query("EXPLAIN SELECT * FROM FAMILIES WHERE AGE = 42", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns(); len(got) != 2 || got[0] != "aspect" {
+		t.Fatalf("columns = %v", got)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, r := range rows {
+		all.WriteString(r[0].S + "=" + r[1].S + "\n")
+	}
+	out := all.String()
+	for _, want := range []string{"goal=TOTAL TIME", "tactic=", "static optimizer would freeze"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	db := newDB(t, 20000)
+	db.Pool().EvictAll()
+	db.Pool().ResetStats()
+	res, err := db.Query("EXPLAIN SELECT * FROM FAMILIES WHERE AGE >= 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.All(); err != nil {
+		t.Fatal(err)
+	}
+	// Only planning I/O (estimation, cluster sampling), no scan.
+	tab, _ := db.Catalog().Table("FAMILIES")
+	if c := db.Pool().Stats().IOCost(); c > int64(tab.Pages())/4 {
+		t.Fatalf("EXPLAIN cost %d I/Os — it must not execute the scan", c)
+	}
+}
+
+func TestExplainExists(t *testing.T) {
+	db := newDB(t, 1000)
+	res, err := db.Query("EXPLAIN EXISTS(SELECT * FROM FAMILIES WHERE AGE = 1)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.All()
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("explain exists: %d rows, %v", len(rows), err)
+	}
+	found := false
+	for _, r := range rows {
+		if r[0].S == "goal" && r[1].S == "FAST FIRST" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("EXPLAIN EXISTS must show the fast-first goal")
+	}
+}
+
+func TestUnionThroughSQL(t *testing.T) {
+	db := newDB(t, 10000)
+	if _, err := db.CreateIndex("FAMILIES", "ID_IX", "ID"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT ID, AGE FROM FAMILIES WHERE ID < 20 OR AGE = 77", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !(r[0].I < 20 || r[1].I == 77) {
+			t.Fatalf("row %v violates the OR restriction", r)
+		}
+		key := r[0].String()
+		if seen[key] {
+			t.Fatalf("duplicate ID %s delivered", key)
+		}
+		seen[key] = true
+	}
+	if !strings.Contains(res.Stats().Strategy, "Uscan") {
+		t.Fatalf("expected Uscan, got %q (trace %v)", res.Stats().Strategy, res.Stats().Trace)
+	}
+}
+
+func TestParseExistsErrors(t *testing.T) {
+	db := newDB(t, 10)
+	for _, src := range []string{
+		"EXISTS SELECT * FROM FAMILIES",
+		"EXISTS(SELECT * FROM FAMILIES",
+		"EXISTS(SELECT COUNT(*) FROM FAMILIES)",
+		"EXPLAIN",
+	} {
+		if _, err := db.Prepare(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestExistsRowValue(t *testing.T) {
+	db := newDB(t, 100)
+	res, err := db.Query("EXISTS(SELECT * FROM FAMILIES WHERE ID = 5)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err := res.Next()
+	if err != nil || !ok || row[0].T != expr.TypeBool {
+		t.Fatalf("exists row: %v %v %v", row, ok, err)
+	}
+}

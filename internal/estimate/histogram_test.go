@@ -1,0 +1,149 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+func intRange(a, b int64) expr.Range {
+	return expr.Range{
+		Lo: expr.Bound{Value: expr.Int(a), Inclusive: true, Present: true},
+		Hi: expr.Bound{Value: expr.Int(b), Present: true},
+	}
+}
+
+func TestHistogramAccurateOnWideRanges(t *testing.T) {
+	tb, ageIx, _ := buildTable(t, 20000) // AGE uniform [0,100)
+	h, err := BuildHistogram(ageIx, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != tb.Cardinality() {
+		t.Fatalf("total = %d, want %d", h.Total, tb.Cardinality())
+	}
+	// Wide ranges estimate well under uniformity.
+	got := h.EstimateRange(intRange(20, 60))
+	want := float64(tb.Cardinality()) * 0.4
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("wide range estimate %v, want ~%v", got, want)
+	}
+}
+
+func TestHistogramBuildIsCostly(t *testing.T) {
+	_, ageIx, _ := buildTable(t, 20000)
+	pool := ageIx.Table.Pool()
+	pool.EvictAll()
+	h, err := BuildHistogram(ageIx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The build scans every leaf: orders of magnitude more I/O than a
+	// descent estimate (which costs ~height).
+	if h.BuildCost < int64(10*ageIx.Tree.Height()) {
+		t.Fatalf("build cost %d suspiciously low", h.BuildCost)
+	}
+}
+
+func TestHistogramMissesSubBucketRanges(t *testing.T) {
+	// The paper: "histograms fail to detect small ranges falling below
+	// granularity". One bucket of a 10-bucket histogram over [0,100)
+	// spans 10 ages; a 1-age point range is estimated at bucket/10
+	// regardless of the true count, while the descent estimator counts
+	// the leaf exactly.
+	_, ageIx, _ := buildTable(t, 20000)
+	h, err := BuildHistogram(ageIx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := intRange(42, 43)
+	lo, hi := rg.EncodedBounds()
+	truth, err := ageIx.Tree.CountRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histEst := h.EstimateRange(rg)
+	descent, _, err := ageIx.Tree.EstimateRangeRefined(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The histogram answers the bucket average — its error is the
+	// uniformity assumption. The descent answer is leaf-exact here.
+	if descent != float64(truth) {
+		t.Fatalf("descent %v, truth %d", descent, truth)
+	}
+	// Prove the histogram cannot distinguish a 1-age from a 5-age
+	// range any better than linear interpolation.
+	r5 := h.EstimateRange(intRange(40, 45))
+	if math.Abs(histEst*5-r5) > r5*0.01 {
+		t.Fatalf("histogram resolves sub-bucket structure it cannot see: %v vs %v", histEst*5, r5)
+	}
+}
+
+func TestHistogramGoesStale(t *testing.T) {
+	tb, ageIx, _ := buildTable(t, 5000)
+	h, err := BuildHistogram(ageIx, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.EstimateRange(intRange(0, 100))
+	// The table doubles; the histogram doesn't notice, the tree does.
+	for i := 0; i < 5000; i++ {
+		if _, err := tb.Insert(expr.Row{expr.Int(int64(90000 + i)), expr.Int(int64(i % 100)), expr.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := h.EstimateRange(intRange(0, 100))
+	if before != after {
+		t.Fatal("stale histogram should not change")
+	}
+	rg := intRange(0, 100)
+	lo, hi := rg.EncodedBounds()
+	fresh, _, err := ageIx.Tree.EstimateRangeRefined(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh < 1.5*after {
+		t.Fatalf("tree estimate %v should reflect the doubled table (histogram stuck at %v)", fresh, after)
+	}
+}
+
+func TestHistogramRejectsNonNumeric(t *testing.T) {
+	tb, _, _ := buildTable(t, 10)
+	if _, err := BuildHistogram(tb.Indexes[0], 10); err != nil {
+		t.Fatalf("numeric build failed: %v", err)
+	}
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(2048), 0))
+	st, err := cat.CreateTable("S", []catalog.Column{{Name: "NAME", Type: expr.TypeString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := st.CreateIndex("NAME_IX", "NAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildHistogram(ix, 10); err == nil {
+		t.Fatal("string-keyed histogram accepted")
+	}
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	_, ageIx, _ := buildTable(t, 1000)
+	h, err := BuildHistogram(ageIx, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateRange(intRange(500, 600)); got != 0 {
+		t.Fatalf("out-of-domain range = %v", got)
+	}
+	if got := h.EstimateRange(intRange(50, 50)); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	full := h.EstimateRange(expr.FullRange())
+	if math.Abs(full-float64(h.Total)) > float64(h.Total)/10 {
+		t.Fatalf("full range = %v, total %d", full, h.Total)
+	}
+}

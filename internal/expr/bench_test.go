@@ -1,0 +1,61 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncodeRow(b *testing.B) {
+	row := Row{Int(42), Str("hello world"), Float(3.14), Bool(true)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeRow(row)
+	}
+}
+
+func BenchmarkDecodeRow(b *testing.B) {
+	enc := EncodeRow(Row{Int(42), Str("hello world"), Float(3.14), Bool(true)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRow(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeKey(b *testing.B) {
+	var dst []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = EncodeKey(dst[:0], Int(int64(i)), Str("abc"))
+	}
+}
+
+func BenchmarkEvalPredicate(b *testing.B) {
+	row := Row{Int(30), Str("smith"), Float(1500.5)}
+	e := NewAnd(
+		NewCmp(GE, Col(0, "AGE"), Lit(Int(10))),
+		NewOr(
+			NewCmp(EQ, Col(1, "NAME"), Lit(Str("smith"))),
+			NewCmp(LT, Col(2, "SALARY"), Lit(Float(100))),
+		),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalPred(e, row, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareValues(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 1024)
+	for i := range vals {
+		vals[i] = randValue(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(vals[i%1024], vals[(i+1)%1024])
+	}
+}

@@ -1,0 +1,83 @@
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrCorruptRecord is returned when a stored record cannot be decoded.
+var ErrCorruptRecord = errors.New("expr: corrupt record")
+
+// EncodeRow serializes a row into a compact binary record for heap-file
+// storage. The format is: uvarint column count, then per column a type
+// byte followed by a type-specific payload (varint for ints and bools,
+// 8-byte IEEE for floats, uvarint length + bytes for strings).
+func EncodeRow(r Row) []byte {
+	buf := make([]byte, 0, 8+8*len(r))
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.T))
+		switch v.T {
+		case TypeNull:
+		case TypeBool, TypeInt:
+			buf = binary.AppendVarint(buf, v.I)
+		case TypeFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		}
+	}
+	return buf
+}
+
+// DecodeRow parses a record produced by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, ErrCorruptRecord
+	}
+	b = b[k:]
+	r := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return nil, ErrCorruptRecord
+		}
+		t := Type(b[0])
+		b = b[1:]
+		var v Value
+		switch t {
+		case TypeNull:
+			v = Null()
+		case TypeBool, TypeInt:
+			x, k := binary.Varint(b)
+			if k <= 0 {
+				return nil, ErrCorruptRecord
+			}
+			b = b[k:]
+			v = Value{T: t, I: x}
+		case TypeFloat:
+			if len(b) < 8 {
+				return nil, ErrCorruptRecord
+			}
+			v = Float(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			b = b[8:]
+		case TypeString:
+			l, k := binary.Uvarint(b)
+			if k <= 0 || uint64(len(b)-k) < l {
+				return nil, ErrCorruptRecord
+			}
+			b = b[k:]
+			v = Str(string(b[:l]))
+			b = b[l:]
+		default:
+			return nil, ErrCorruptRecord
+		}
+		r = append(r, v)
+	}
+	if len(b) != 0 {
+		return nil, ErrCorruptRecord
+	}
+	return r, nil
+}

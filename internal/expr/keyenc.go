@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Key encoding: order-preserving ("memcomparable") byte strings, so that
+// bytes-wise comparison of encoded keys matches Compare on the values.
+// B-tree nodes store encoded keys; range scans and the descent-to-split
+// estimator work purely on encoded bytes.
+//
+// Layout per value: one type-rank byte, then a payload whose bytewise
+// order matches value order within the rank:
+//
+//	NULL   -> rank 0x01, no payload
+//	BOOL   -> rank 0x02, one byte 0/1
+//	number -> rank 0x03, 8 bytes (int64 and float64 share one numeric
+//	          code so cross-type comparisons order correctly)
+//	STRING -> rank 0x04, escaped bytes terminated by 0x00 0x01
+//	          (0x00 in the data is escaped as 0x00 0xFF)
+//
+// Multi-column keys are simple concatenations; the terminator keeps
+// string prefixes ordered before their extensions.
+
+const (
+	rankNull   = 0x01
+	rankBool   = 0x02
+	rankNumber = 0x03
+	rankString = 0x04
+)
+
+// EncodeKey appends the order-preserving encoding of vals to dst and
+// returns the extended slice.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.T {
+		case TypeNull:
+			dst = append(dst, rankNull)
+		case TypeBool:
+			dst = append(dst, rankBool, byte(v.I))
+		case TypeInt:
+			dst = append(dst, rankNumber)
+			dst = appendNumeric(dst, float64(v.I), v.I, true)
+		case TypeFloat:
+			dst = append(dst, rankNumber)
+			dst = appendNumeric(dst, v.F, 0, false)
+		case TypeString:
+			dst = append(dst, rankString)
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				if c == 0x00 {
+					dst = append(dst, 0x00, 0xFF)
+				} else {
+					dst = append(dst, c)
+				}
+			}
+			dst = append(dst, 0x00, 0x01)
+		}
+	}
+	return dst
+}
+
+// appendNumeric encodes a number into 8 bytes whose bytewise order
+// matches numeric order, via the IEEE-754 sign-flip trick on the float64
+// value. Ints and floats share this single numeric code so cross-type
+// comparisons order correctly. Integer columns are assumed to stay within
+// +/-2^52, where float64 is exact; the workload generators honor that
+// bound.
+func appendNumeric(dst []byte, f float64, i int64, isInt bool) []byte {
+	if isInt {
+		f = float64(i)
+	}
+	bits := math.Float64bits(f)
+	if f >= 0 && !math.Signbit(f) {
+		bits |= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return binary.BigEndian.AppendUint64(dst, bits)
+}
+
+// CompareKeys compares two encoded keys bytewise.
+func CompareKeys(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// KeySuccessor returns the smallest key strictly greater than every key
+// having k as a prefix. It is used to turn inclusive upper bounds on key
+// prefixes into exclusive B-tree bounds.
+func KeySuccessor(k []byte) []byte {
+	s := make([]byte, len(k), len(k)+1)
+	copy(s, k)
+	return append(s, 0xFF)
+}
+
+// ErrBadKey is returned by DecodeKey for malformed encoded keys.
+var ErrBadKey = errors.New("expr: malformed encoded key")
+
+// DecodeKey parses the order-preserving encoding back into values. The
+// caller supplies the expected column types so the shared numeric code
+// can be mapped back to INT or FLOAT; a TypeNull expectation accepts any
+// type. Self-sufficient index scans use this to evaluate restrictions on
+// index keys without fetching data records.
+func DecodeKey(k []byte, types []Type) (Row, error) {
+	row := make(Row, 0, len(types))
+	for _, want := range types {
+		if len(k) == 0 {
+			return nil, ErrBadKey
+		}
+		rank := k[0]
+		k = k[1:]
+		switch rank {
+		case rankNull:
+			row = append(row, Null())
+		case rankBool:
+			if len(k) < 1 {
+				return nil, ErrBadKey
+			}
+			row = append(row, Bool(k[0] != 0))
+			k = k[1:]
+		case rankNumber:
+			if len(k) < 8 {
+				return nil, ErrBadKey
+			}
+			bits := binary.BigEndian.Uint64(k)
+			k = k[8:]
+			if bits&(1<<63) != 0 {
+				bits &^= 1 << 63
+			} else {
+				bits = ^bits
+			}
+			f := math.Float64frombits(bits)
+			if want == TypeInt {
+				row = append(row, Int(int64(f)))
+			} else {
+				row = append(row, Float(f))
+			}
+		case rankString:
+			var sb []byte
+			for {
+				if len(k) < 1 {
+					return nil, ErrBadKey
+				}
+				c := k[0]
+				k = k[1:]
+				if c != 0x00 {
+					sb = append(sb, c)
+					continue
+				}
+				if len(k) < 1 {
+					return nil, ErrBadKey
+				}
+				esc := k[0]
+				k = k[1:]
+				if esc == 0xFF {
+					sb = append(sb, 0x00)
+					continue
+				}
+				if esc == 0x01 {
+					break // terminator
+				}
+				return nil, ErrBadKey
+			}
+			row = append(row, Str(string(sb)))
+		default:
+			return nil, ErrBadKey
+		}
+	}
+	if len(k) != 0 {
+		return nil, ErrBadKey
+	}
+	return row, nil
+}

@@ -1,0 +1,59 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20000; i++ {
+		n := 1 + rng.Intn(3)
+		row := make(Row, n)
+		types := make([]Type, n)
+		for j := range row {
+			row[j] = randValue(rng)
+			types[j] = row[j].T
+		}
+		k := EncodeKey(nil, row...)
+		got, err := DecodeKey(k, types)
+		if err != nil {
+			t.Fatalf("DecodeKey(%v): %v", row, err)
+		}
+		for j := range row {
+			if got[j].T != row[j].T || Compare(got[j], row[j]) != 0 {
+				t.Fatalf("column %d: decoded %v, want %v", j, got[j], row[j])
+			}
+		}
+	}
+}
+
+func TestDecodeKeyIntExactness(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1<<52 - 1, -(1<<52 - 1), 123456789} {
+		k := EncodeKey(nil, Int(v))
+		row, err := DecodeKey(k, []Type{TypeInt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0].T != TypeInt || row[0].I != v {
+			t.Fatalf("decoded %v, want %d", row[0], v)
+		}
+	}
+}
+
+func TestDecodeKeyRejectsMalformed(t *testing.T) {
+	k := EncodeKey(nil, Str("abc"), Int(5))
+	// Truncations must error (except cuts that still parse as fewer
+	// columns than requested types -> also error since types demand 2).
+	for cut := 0; cut < len(k); cut++ {
+		if _, err := DecodeKey(k[:cut], []Type{TypeString, TypeInt}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeKey(append(k, 7), []Type{TypeString, TypeInt}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeKey([]byte{0x77}, []Type{TypeInt}); err == nil {
+		t.Fatal("bad rank byte accepted")
+	}
+}

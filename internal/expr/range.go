@@ -1,0 +1,255 @@
+package expr
+
+import "fmt"
+
+// Bound is one end of a key range.
+type Bound struct {
+	Value     Value
+	Inclusive bool
+	Present   bool // false = unbounded on this side
+}
+
+// Range is an interval of values for a single column, derived from the
+// sargable conjuncts of a restriction. The zero value is the full range.
+//
+// The initial stage of the dynamic optimizer (paper Section 5) turns each
+// index's restriction portion into a Range, estimates its RID count by
+// B-tree descent, and orders the indexes by ascending estimate. An Empty
+// range triggers the paper's shortcut: all retrieval stages are canceled
+// and "end of data" is delivered at once.
+type Range struct {
+	Lo, Hi Bound
+}
+
+// FullRange returns the unbounded range.
+func FullRange() Range { return Range{} }
+
+// PointRange returns the range containing exactly v.
+func PointRange(v Value) Range {
+	b := Bound{Value: v, Inclusive: true, Present: true}
+	return Range{Lo: b, Hi: b}
+}
+
+// IsFull reports whether the range is unbounded on both sides.
+func (r Range) IsFull() bool { return !r.Lo.Present && !r.Hi.Present }
+
+// IsPoint reports whether the range contains at most one value.
+func (r Range) IsPoint() bool {
+	return r.Lo.Present && r.Hi.Present && r.Lo.Inclusive && r.Hi.Inclusive &&
+		Compare(r.Lo.Value, r.Hi.Value) == 0
+}
+
+// Empty reports whether the range provably contains no values.
+func (r Range) Empty() bool {
+	if !r.Lo.Present || !r.Hi.Present {
+		return false
+	}
+	d := Compare(r.Lo.Value, r.Hi.Value)
+	if d > 0 {
+		return true
+	}
+	if d == 0 {
+		return !(r.Lo.Inclusive && r.Hi.Inclusive)
+	}
+	return false
+}
+
+// Contains reports whether v lies within the range.
+func (r Range) Contains(v Value) bool {
+	if r.Lo.Present {
+		d := Compare(v, r.Lo.Value)
+		if d < 0 || (d == 0 && !r.Lo.Inclusive) {
+			return false
+		}
+	}
+	if r.Hi.Present {
+		d := Compare(v, r.Hi.Value)
+		if d > 0 || (d == 0 && !r.Hi.Inclusive) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect tightens r by o and returns the result.
+func (r Range) Intersect(o Range) Range {
+	out := r
+	if o.Lo.Present {
+		if !out.Lo.Present {
+			out.Lo = o.Lo
+		} else {
+			d := Compare(o.Lo.Value, out.Lo.Value)
+			if d > 0 || (d == 0 && !o.Lo.Inclusive) {
+				out.Lo = o.Lo
+			}
+		}
+	}
+	if o.Hi.Present {
+		if !out.Hi.Present {
+			out.Hi = o.Hi
+		} else {
+			d := Compare(o.Hi.Value, out.Hi.Value)
+			if d < 0 || (d == 0 && !o.Hi.Inclusive) {
+				out.Hi = o.Hi
+			}
+		}
+	}
+	return out
+}
+
+func (r Range) String() string {
+	lo, hi := "(-inf", "+inf)"
+	if r.Lo.Present {
+		br := "("
+		if r.Lo.Inclusive {
+			br = "["
+		}
+		lo = br + r.Lo.Value.String()
+	}
+	if r.Hi.Present {
+		br := ")"
+		if r.Hi.Inclusive {
+			br = "]"
+		}
+		hi = r.Hi.Value.String() + br
+	}
+	return lo + ", " + hi
+}
+
+// EncodedBounds converts the range into encoded-key bounds usable for a
+// B-tree scan: lo inclusive, hi exclusive, either possibly nil meaning
+// unbounded. The conversion relies on EncodeKey order preservation and
+// KeySuccessor for inclusive upper / exclusive lower bounds.
+func (r Range) EncodedBounds() (lo, hi []byte) {
+	if r.Lo.Present {
+		lo = EncodeKey(nil, r.Lo.Value)
+		if !r.Lo.Inclusive {
+			lo = KeySuccessor(lo)
+		}
+	}
+	if r.Hi.Present {
+		hi = EncodeKey(nil, r.Hi.Value)
+		if r.Hi.Inclusive {
+			hi = KeySuccessor(hi)
+		}
+	}
+	return lo, hi
+}
+
+// RangeFromCmp derives the range a single comparison imposes on column
+// col. It handles both operand orders (col op const and const op col).
+// The second return is false when the conjunct is not sargable for col:
+// not a comparison, references a different or more than one column, uses
+// NE, or its constant side cannot be resolved under binds.
+func RangeFromCmp(c *Cmp, col int, binds Bindings) (Range, bool) {
+	constSide, op := c.R, c.Op
+	if cref, ok := c.L.(*ColRef); !ok || cref.Index != col {
+		cref, ok = c.R.(*ColRef)
+		if !ok || cref.Index != col {
+			return Range{}, false
+		}
+		constSide, op = c.L, c.Op.Flip()
+	}
+	var v Value
+	switch t := constSide.(type) {
+	case *Const:
+		v = t.V
+	case *Param:
+		pv, okb := binds[t.Name]
+		if !okb {
+			return Range{}, false
+		}
+		v = pv
+	default:
+		return Range{}, false
+	}
+	if v.IsNull() {
+		// col op NULL is always false: provably empty range.
+		return Range{
+			Lo: Bound{Value: Int(1), Inclusive: false, Present: true},
+			Hi: Bound{Value: Int(0), Inclusive: false, Present: true},
+		}, true
+	}
+	switch op {
+	case EQ:
+		return PointRange(v), true
+	case LT:
+		return Range{Hi: Bound{Value: v, Present: true}}, true
+	case LE:
+		return Range{Hi: Bound{Value: v, Inclusive: true, Present: true}}, true
+	case GT:
+		return Range{Lo: Bound{Value: v, Present: true}}, true
+	case GE:
+		return Range{Lo: Bound{Value: v, Inclusive: true, Present: true}}, true
+	default:
+		return Range{}, false // NE is not sargable
+	}
+}
+
+// ExtractRange scans the top-level conjuncts of e and intersects every
+// sargable restriction on column col into a single Range. It returns the
+// range and the number of conjuncts that contributed (0 means the index
+// on col gets no restriction from e).
+func ExtractRange(e Expr, col int, binds Bindings) (Range, int) {
+	r := FullRange()
+	n := 0
+	for _, cj := range Conjuncts(e) {
+		c, ok := cj.(*Cmp)
+		if !ok {
+			continue
+		}
+		cr, ok := RangeFromCmp(c, col, binds)
+		if !ok {
+			continue
+		}
+		r = r.Intersect(cr)
+		n++
+	}
+	return r, n
+}
+
+// Validate walks the tree and reports structural errors (nil children,
+// unknown node types) without needing a row.
+func Validate(e Expr) error {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case *ColRef, *Const, *Param:
+		return nil
+	case *Cmp:
+		if t.L == nil || t.R == nil {
+			return fmt.Errorf("expr: comparison with nil operand")
+		}
+		if err := Validate(t.L); err != nil {
+			return err
+		}
+		return Validate(t.R)
+	case *And:
+		for _, k := range t.Kids {
+			if k == nil {
+				return fmt.Errorf("expr: AND with nil child")
+			}
+			if err := Validate(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Or:
+		for _, k := range t.Kids {
+			if k == nil {
+				return fmt.Errorf("expr: OR with nil child")
+			}
+			if err := Validate(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Not:
+		if t.Kid == nil {
+			return fmt.Errorf("expr: NOT with nil child")
+		}
+		return Validate(t.Kid)
+	default:
+		return fmt.Errorf("expr: unknown node type %T", e)
+	}
+}

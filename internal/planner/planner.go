@@ -1,0 +1,197 @@
+// Package planner implements the traditional static optimizer baseline:
+// mean-point cost estimation in the style of System R [SACL79], a single
+// frozen plan, and no run-time strategy changes.
+//
+// Two preparation modes reproduce the two classic failure stories the
+// paper's dynamic optimizer resolves:
+//
+//   - Prepare uses compile-time "magic number" default selectivities
+//     (1/10 for equality, 1/3 for ranges) because host-variable values
+//     are unknown at compile time;
+//   - PrepareSniffing estimates with the first execution's bindings and
+//     freezes the resulting plan, which is catastrophic when later runs
+//     bind very different values (the paper's AGE >= :A1 example).
+//
+// Either way the frozen plan is executed via core.RunFixed for every
+// subsequent run.
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+)
+
+// System R default selectivities, used when a predicate's constant is
+// unknown at compile time.
+const (
+	DefaultEqSelectivity    = 0.10
+	DefaultRangeSelectivity = 1.0 / 3.0
+)
+
+// Plan is a frozen execution plan with its compile-time cost estimate.
+type Plan struct {
+	Strategy core.FixedStrategy
+	// Cost is the mean-point I/O estimate that won plan selection.
+	Cost float64
+	// Selectivity is the estimated restriction selectivity used.
+	Selectivity float64
+}
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("%s (est cost %.0f, sel %.3f)", p.Strategy, p.Cost, p.Selectivity)
+}
+
+// Execute runs the frozen plan for one set of bindings.
+func (p *Plan) Execute(q *core.Query) core.Rows {
+	return core.RunFixed(q, p.Strategy, core.DefaultConfig())
+}
+
+// Prepare chooses a plan with compile-time default selectivities (host
+// variables unknown).
+func Prepare(q *core.Query) (*Plan, error) {
+	return prepare(q, nil, false)
+}
+
+// PrepareSniffing chooses a plan using the given first-run bindings for
+// range estimation, then freezes it.
+func PrepareSniffing(q *core.Query, binds expr.Bindings) (*Plan, error) {
+	return prepare(q, binds, true)
+}
+
+func prepare(q *core.Query, binds expr.Bindings, sniff bool) (*Plan, error) {
+	if q.Table == nil {
+		return nil, fmt.Errorf("planner: query without table")
+	}
+	if err := expr.Validate(q.Restriction); err != nil {
+		return nil, err
+	}
+	model := estimate.CostModel{
+		TablePages: q.Table.Pages(),
+		TableRows:  q.Table.Cardinality(),
+	}
+	rows := float64(q.Table.Cardinality())
+	needed := queryColumns(q)
+
+	best := &Plan{
+		Strategy:    core.FixedStrategy{Kind: core.StrategyTscan},
+		Cost:        model.TscanCost(),
+		Selectivity: 1,
+	}
+	// Unlike the dynamic optimizer, the static planner classifies
+	// indexes syntactically: at compile time host-variable values are
+	// unknown, so any comparison shape on the leading column counts as
+	// a restriction.
+	for _, ix := range q.Table.Indexes {
+		sel, err := indexSelectivity(q, ix, binds, sniff)
+		if err != nil {
+			return nil, err
+		}
+		covering := ix.Covers(needed)
+		ordered := len(q.OrderBy) > 0 && ix.DeliversOrder(q.OrderBy)
+		if sel >= 1 && !ordered {
+			continue // unrestricted non-order index: useless
+		}
+		est := sel * rows
+		var cost float64
+		kind := core.StrategyFscan
+		if covering {
+			kind = core.StrategySscan
+			cost = model.SscanCost(est, ix.Tree.AvgLeafEntries(), ix.Tree.Height())
+		} else {
+			cost = model.FscanCost(est, ix.Tree.AvgLeafEntries(), ix.Tree.Height())
+		}
+		if cost < best.Cost {
+			best = &Plan{
+				Strategy:    core.FixedStrategy{Kind: kind, Index: ix},
+				Cost:        cost,
+				Selectivity: sel,
+			}
+		}
+	}
+	return best, nil
+}
+
+// queryColumns returns every column the query touches.
+func queryColumns(q *core.Query) []int {
+	set := map[int]bool{}
+	for _, c := range expr.Columns(q.Restriction) {
+		set[c] = true
+	}
+	if q.Projection == nil {
+		for i := range q.Table.Columns {
+			set[i] = true
+		}
+	}
+	for _, c := range append(append([]int(nil), q.Projection...), q.OrderBy...) {
+		set[c] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}
+
+// indexSelectivity estimates the selectivity of the restriction portion
+// an index scan on ix would enforce (its leading-column conjuncts),
+// with mean-point semantics.
+func indexSelectivity(q *core.Query, ix *catalog.Index, binds expr.Bindings, sniff bool) (float64, error) {
+	if sniff {
+		lo, hi, n, empty := ix.RestrictionBounds(q.Restriction, binds)
+		if n == 0 {
+			return 1, nil
+		}
+		if empty {
+			return 0, nil
+		}
+		rids, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		rows := float64(q.Table.Cardinality())
+		if rows == 0 {
+			return 0, nil
+		}
+		return math.Min(1, rids/rows), nil
+	}
+	// Compile-time magic numbers, one factor per sargable conjunct.
+	sel := 1.0
+	found := false
+	for _, cj := range expr.Conjuncts(q.Restriction) {
+		c, ok := cj.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		if !referencesOnly(c, ix.LeadingCol()) {
+			continue
+		}
+		found = true
+		if c.Op == expr.EQ {
+			sel *= DefaultEqSelectivity
+		} else {
+			sel *= DefaultRangeSelectivity
+		}
+	}
+	if !found {
+		return 1, nil
+	}
+	return sel, nil
+}
+
+// referencesOnly reports whether cmp is a sargable-shaped comparison on
+// the given column (column vs constant or parameter).
+func referencesOnly(c *expr.Cmp, col int) bool {
+	cols := expr.Columns(c)
+	if len(cols) != 1 || cols[0] != col {
+		return false
+	}
+	if c.Op == expr.NE {
+		return false
+	}
+	return true
+}

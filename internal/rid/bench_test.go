@@ -1,0 +1,55 @@
+package rid
+
+import (
+	"testing"
+
+	"rdbdyn/internal/storage"
+)
+
+func BenchmarkContainerAppendSmall(b *testing.B) {
+	// The L-shape head: lists that never leave the static buffer.
+	b.ReportAllocs()
+	pool := newPool()
+	for i := 0; i < b.N; i++ {
+		c := NewContainer(pool, DefaultConfig())
+		for j := 0; j < 10; j++ {
+			if err := c.Append(ridN(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkContainerAppendLarge(b *testing.B) {
+	pool := newPool()
+	c := NewContainer(pool, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Append(ridN(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitmapAddAndProbe(b *testing.B) {
+	bm := NewBitmap(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		bm.Add(ridN(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.MayContain(ridN(i))
+	}
+}
+
+func BenchmarkSortedListProbe(b *testing.B) {
+	rids := make([]storage.RID, 4096)
+	for i := range rids {
+		rids[i] = ridN(i * 2)
+	}
+	s := NewSortedList(rids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MayContain(ridN(i % 8192))
+	}
+}

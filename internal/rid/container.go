@@ -1,0 +1,198 @@
+package rid
+
+import (
+	"sort"
+
+	"rdbdyn/internal/storage"
+)
+
+// Config sizes the hybrid container's regions. The zero value selects
+// the paper's defaults.
+type Config struct {
+	// SmallCap is the statically-allocated region ("lists up to 20
+	// RIDs are stored in a small statically-allocated buffer").
+	SmallCap int
+	// MemBudget is the maximum number of RIDs held in the allocated
+	// in-memory buffer before spilling to a temporary table.
+	MemBudget int
+	// FilterOnly marks containers whose only useful outcome is a
+	// membership filter (the sorted tactic's Jscan): instead of
+	// spilling overflow RIDs to a temporary table, the container keeps
+	// just the bitmap. All() is then unavailable.
+	FilterOnly bool
+}
+
+// DefaultConfig mirrors the constants from the paper's Section 6.
+func DefaultConfig() Config { return Config{SmallCap: 20, MemBudget: 4096} }
+
+func (c Config) withDefaults() Config {
+	if c.SmallCap <= 0 {
+		c.SmallCap = 20
+	}
+	if c.MemBudget < c.SmallCap {
+		c.MemBudget = c.SmallCap * 200
+	}
+	return c
+}
+
+// Container is the hybrid RID list of Section 6. RIDs are appended in
+// scan order; the container transparently graduates from a static
+// buffer to an allocated buffer to a temporary table with a bitmap.
+type Container struct {
+	cfg  Config
+	pool *storage.BufferPool
+
+	small     [20]storage.RID // static region (cfg.SmallCap <= 20 uses a prefix)
+	mem       []storage.RID   // allocated region; nil while in static region
+	n         int             // total appended
+	allocated bool            // entered the allocated region
+	spill     *tempTable      // non-nil once spilled
+	bitmap    *Bitmap         // maintained once spilled
+	discarded bool
+}
+
+// NewContainer creates an empty hybrid container drawing temp-table
+// pages from pool.
+func NewContainer(pool *storage.BufferPool, cfg Config) *Container {
+	cfg = cfg.withDefaults()
+	if cfg.SmallCap > len((&Container{}).small) {
+		cfg.SmallCap = len((&Container{}).small)
+	}
+	return &Container{cfg: cfg, pool: pool}
+}
+
+// Len returns the number of RIDs appended.
+func (c *Container) Len() int { return c.n }
+
+// Allocated reports whether the container outgrew the static region.
+func (c *Container) Allocated() bool { return c.allocated }
+
+// Spilled reports whether the container overflowed to a temp table.
+func (c *Container) Spilled() bool { return c.spill != nil }
+
+// Append adds a RID.
+func (c *Container) Append(r storage.RID) error {
+	if c.discarded {
+		return ErrDiscarded
+	}
+	switch {
+	case c.spill != nil:
+		c.bitmap.Add(r)
+		if err := c.spill.append(r); err != nil {
+			return err
+		}
+	case !c.allocated && c.n < c.cfg.SmallCap:
+		c.small[c.n] = r
+	case c.n < c.cfg.MemBudget:
+		if !c.allocated {
+			capHint := c.cfg.MemBudget
+			if capHint > 4*c.cfg.SmallCap {
+				capHint = 4 * c.cfg.SmallCap // grow geometrically from here
+			}
+			c.mem = make([]storage.RID, 0, capHint)
+			c.mem = append(c.mem, c.small[:c.n]...)
+			c.allocated = true
+		}
+		c.mem = append(c.mem, r)
+	case c.bitmap != nil:
+		// Filter-only overflow mode: the bitmap is the only record.
+		c.bitmap.Add(r)
+	default:
+		// Graduate past the memory budget: existing in-memory RIDs
+		// feed the bitmap and stay in memory. In filter-only mode the
+		// bitmap alone absorbs the overflow; otherwise the overflow
+		// also goes to a temporary table so the list can be read back.
+		c.bitmap = NewBitmap(4 * c.cfg.MemBudget)
+		for _, x := range c.inMemory() {
+			c.bitmap.Add(x)
+		}
+		c.bitmap.Add(r)
+		if !c.cfg.FilterOnly {
+			c.spill = newTempTable(c.pool)
+			if err := c.spill.append(r); err != nil {
+				return err
+			}
+		}
+	}
+	c.n++
+	return nil
+}
+
+// inMemory returns the in-memory portion of the list. Once the
+// container overflows (to a temp table or a filter-only bitmap), n
+// keeps counting while the in-memory region stays frozen, so the count
+// is capped at the static region's fill.
+func (c *Container) inMemory() []storage.RID {
+	if c.allocated {
+		return c.mem
+	}
+	k := c.n
+	if k > c.cfg.SmallCap {
+		k = c.cfg.SmallCap
+	}
+	return c.small[:k]
+}
+
+// Filter returns the membership filter for this container: an exact
+// sorted list while the RIDs fit in memory, the hashed bitmap once
+// spilled ("an in-buffer sorted RID list or a hashed in-memory bitmap
+// for temporary tables").
+func (c *Container) Filter() Filter {
+	if c.bitmap != nil {
+		return c.bitmap
+	}
+	return NewSortedList(c.inMemory())
+}
+
+// All returns every RID in append order. Reading back a spilled
+// container charges page I/O for the temp-table pages.
+func (c *Container) All() ([]storage.RID, error) {
+	if c.discarded {
+		return nil, ErrDiscarded
+	}
+	if c.bitmap != nil && c.spill == nil && c.n > len(c.inMemory()) {
+		return nil, ErrFilterOnly
+	}
+	out := make([]storage.RID, 0, c.n)
+	out = append(out, c.inMemory()...)
+	if c.spill != nil {
+		err := c.spill.readAll(func(r storage.RID) error {
+			out = append(out, r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortedAll returns every RID in (file, page, slot) order, the order
+// the final retrieval stage fetches in so that each data page is read
+// once.
+func (c *Container) SortedAll() ([]storage.RID, error) {
+	out, err := c.All()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// Discard abandons the container, dropping any temp table. The paper's
+// two-stage competition discards incomplete RID lists of non-competitive
+// indexes.
+func (c *Container) Discard() {
+	if c.spill != nil {
+		c.spill.drop()
+		c.spill = nil
+	}
+	c.mem = nil
+	c.bitmap = nil
+	c.n = 0
+	c.discarded = true
+}
+
+// MemRIDs returns how many RIDs are held in memory (static + allocated
+// regions). Spilled RIDs are excluded.
+func (c *Container) MemRIDs() int { return len(c.inMemory()) }

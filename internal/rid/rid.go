@@ -1,0 +1,172 @@
+// Package rid implements the RID-list machinery of the paper's joint
+// scan (Section 6): sorted in-memory RID lists, hashed bitmaps [Babb79],
+// temporary-table spill, and the "hybrid" container that exploits the
+// L-shaped distribution of RID-list sizes:
+//
+//	zero RIDs          -> immediate shortcut (caller observes Len()==0)
+//	up to SmallCap     -> statically-sized buffer, no allocation
+//	up to MemBudget    -> allocated in-memory buffer
+//	beyond             -> temporary table on disk + in-memory bitmap
+//
+// The paper: "Despite its simplicity, this 'hybrid' scan arrangement is
+// quite advantageous due to the underlying L-shaped distribution."
+package rid
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"rdbdyn/internal/storage"
+)
+
+// ErrDiscarded is returned when a discarded container is used.
+var ErrDiscarded = errors.New("rid: container discarded")
+
+// ErrFilterOnly is returned by All on a filter-only container that
+// overflowed its memory budget: only the bitmap remains.
+var ErrFilterOnly = errors.New("rid: container is filter-only")
+
+// Filter answers approximate membership questions during RID-list
+// intersection. Exact filters (sorted lists) never err; hashed bitmaps
+// may report false positives, which the final restriction re-evaluation
+// absorbs.
+type Filter interface {
+	// MayContain reports whether r may be in the underlying set.
+	MayContain(r storage.RID) bool
+	// Exact reports whether MayContain is free of false positives.
+	Exact() bool
+}
+
+// TrueFilter passes everything; it stands for "no previous filter" in
+// the first Jscan stage.
+type TrueFilter struct{}
+
+// MayContain implements Filter.
+func (TrueFilter) MayContain(storage.RID) bool { return true }
+
+// Exact implements Filter.
+func (TrueFilter) Exact() bool { return false }
+
+// SortedList is an exact filter over a sorted RID slice.
+type SortedList struct {
+	rids []storage.RID
+}
+
+// NewSortedList copies and sorts rids.
+func NewSortedList(rids []storage.RID) *SortedList {
+	s := &SortedList{rids: append([]storage.RID(nil), rids...)}
+	sort.Slice(s.rids, func(i, j int) bool { return s.rids[i].Less(s.rids[j]) })
+	return s
+}
+
+// Len returns the number of RIDs.
+func (s *SortedList) Len() int { return len(s.rids) }
+
+// MayContain implements Filter by binary search.
+func (s *SortedList) MayContain(r storage.RID) bool {
+	i := sort.Search(len(s.rids), func(i int) bool { return !s.rids[i].Less(r) })
+	return i < len(s.rids) && s.rids[i] == r
+}
+
+// Exact implements Filter.
+func (s *SortedList) Exact() bool { return true }
+
+// Bitmap is a single-hash bitmap over RID keys, the hashed in-memory
+// bitmap of [Babb79]. It may report false positives but never false
+// negatives.
+type Bitmap struct {
+	bits []uint64
+	m    uint64
+	n    int
+}
+
+// NewBitmap sizes a bitmap for roughly expected entries, using about 8
+// bits per expected entry (keeps the false-positive rate near 12% for a
+// single hash, cheap enough for a pre-fetch filter).
+func NewBitmap(expected int) *Bitmap {
+	m := uint64(expected) * 8
+	if m < 1024 {
+		m = 1024
+	}
+	return &Bitmap{bits: make([]uint64, (m+63)/64), m: m}
+}
+
+// hash mixes the RID key (fibonacci hashing).
+func (b *Bitmap) hash(r storage.RID) uint64 {
+	return (r.Key() * 0x9E3779B97F4A7C15) % b.m
+}
+
+// Add inserts r.
+func (b *Bitmap) Add(r storage.RID) {
+	h := b.hash(r)
+	b.bits[h/64] |= 1 << (h % 64)
+	b.n++
+}
+
+// MayContain implements Filter.
+func (b *Bitmap) MayContain(r storage.RID) bool {
+	h := b.hash(r)
+	return b.bits[h/64]&(1<<(h%64)) != 0
+}
+
+// Exact implements Filter.
+func (b *Bitmap) Exact() bool { return false }
+
+// SizeBytes returns the bitmap's memory footprint.
+func (b *Bitmap) SizeBytes() int { return len(b.bits) * 8 }
+
+// tempTable spills RIDs to disk pages through the buffer pool, so the
+// spill and the read-back are charged as I/O like any other page
+// traffic.
+type tempTable struct {
+	heap *storage.HeapFile
+	pool *storage.BufferPool
+}
+
+const ridRecBytes = 10 // file(4) + page(4) + slot(2)
+
+func newTempTable(pool *storage.BufferPool) *tempTable {
+	return &tempTable{heap: storage.NewHeapFile(pool), pool: pool}
+}
+
+func (t *tempTable) append(r storage.RID) error {
+	var rec [ridRecBytes]byte
+	binary.BigEndian.PutUint32(rec[0:4], uint32(r.Page.File))
+	binary.BigEndian.PutUint32(rec[4:8], uint32(r.Page.No))
+	binary.BigEndian.PutUint16(rec[8:10], r.Slot)
+	_, err := t.heap.Insert(rec[:])
+	return err
+}
+
+// readAll streams every spilled RID back, charging page reads as the
+// pages are revisited.
+func (t *tempTable) readAll(visit func(storage.RID) error) error {
+	c := t.heap.Cursor()
+	for {
+		rec, _, ok, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if len(rec) != ridRecBytes {
+			return errors.New("rid: corrupt temp-table record")
+		}
+		r := storage.RID{
+			Page: storage.PageID{
+				File: storage.FileID(binary.BigEndian.Uint32(rec[0:4])),
+				No:   storage.PageNo(binary.BigEndian.Uint32(rec[4:8])),
+			},
+			Slot: binary.BigEndian.Uint16(rec[8:10]),
+		}
+		if err := visit(r); err != nil {
+			return err
+		}
+	}
+}
+
+func (t *tempTable) drop() {
+	t.pool.Disk().DropFile(t.heap.File())
+}

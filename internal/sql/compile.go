@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/expr"
+)
+
+// Compiled is a statement bound to a table, ready for execution with
+// per-run bindings.
+type Compiled struct {
+	Stmt  *SelectStmt
+	Query *core.Query
+	// CountStar marks aggregate execution (engine counts rows).
+	CountStar bool
+	// Exists marks boolean existence execution.
+	Exists bool
+	// Agg is the single-column aggregate, if any.
+	Agg *Aggregate
+	// Explain marks plan description instead of full execution.
+	Explain bool
+}
+
+// Compile resolves the statement's names against the catalog and builds
+// the core query. Section 4's goal-inference rules are applied: a LIMIT
+// controller sets fast-first, a COUNT or SORT controller sets
+// total-time, otherwise the user's OPTIMIZE FOR request (or the
+// default) decides.
+func Compile(cat *catalog.Catalog, stmt *SelectStmt) (*Compiled, error) {
+	tab, err := cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{Table: tab, Limit: stmt.Limit}
+
+	switch stmt.Optimize {
+	case OptimizeFastFirst:
+		q.Goal = core.GoalFastFirst
+	case OptimizeTotalTime:
+		q.Goal = core.GoalTotalTime
+	}
+	// The controlling node, in the paper's priority: LIMIT -> fast
+	// first; COUNT -> total time. ORDER BY does not set a SORT
+	// controller here: a SORT node only exists when no order-needed
+	// index delivers the order, which the optimizer decides at
+	// start-retrieval time (its sort fallback applies ControlSort to
+	// the inner retrieval).
+	switch {
+	case stmt.Exists:
+		q.Control = core.ControlExists
+		q.Limit = 1
+	case stmt.Limit > 0:
+		q.Control = core.ControlLimit
+	case stmt.CountStar || stmt.Agg != nil:
+		q.Control = core.ControlAggregate
+	}
+
+	if stmt.Where != nil {
+		e, err := compileNode(tab, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		q.Restriction = e
+	}
+	if stmt.Columns != nil {
+		q.Projection = make([]int, len(stmt.Columns))
+		for i, name := range stmt.Columns {
+			ci, err := tab.ColumnIndex(name)
+			if err != nil {
+				return nil, err
+			}
+			q.Projection[i] = ci
+		}
+	}
+	if stmt.CountStar || stmt.Exists {
+		// Counting and existence need no column values; project the
+		// narrowest thing.
+		q.Projection = []int{0}
+	}
+	if stmt.Agg != nil {
+		ci, err := tab.ColumnIndex(stmt.Agg.Col)
+		if err != nil {
+			return nil, err
+		}
+		switch tab.Columns[ci].Type {
+		case expr.TypeInt, expr.TypeFloat:
+		default:
+			return nil, fmt.Errorf("sql: %s over non-numeric column %s", stmt.Agg.Kind, stmt.Agg.Col)
+		}
+		q.Projection = []int{ci}
+	}
+	for _, name := range stmt.OrderBy {
+		ci, err := tab.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = append(q.OrderBy, ci)
+	}
+	q.OrderDesc = stmt.OrderDesc
+	return &Compiled{Stmt: stmt, Query: q, CountStar: stmt.CountStar, Exists: stmt.Exists, Explain: stmt.Explain, Agg: stmt.Agg}, nil
+}
+
+func compileNode(tab *catalog.Table, n Node) (expr.Expr, error) {
+	switch t := n.(type) {
+	case ColNode:
+		ci, err := tab.ColumnIndex(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Col(ci, t.Name), nil
+	case LitNode:
+		return expr.Lit(t.V), nil
+	case ParamNode:
+		return expr.Var(t.Name), nil
+	case CmpNode:
+		l, err := compileNode(tab, t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileNode(tab, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCmp(t.Op, l, r), nil
+	case AndNode:
+		kids := make([]expr.Expr, len(t.Kids))
+		for i, k := range t.Kids {
+			var err error
+			if kids[i], err = compileNode(tab, k); err != nil {
+				return nil, err
+			}
+		}
+		return expr.NewAnd(kids...), nil
+	case OrNode:
+		kids := make([]expr.Expr, len(t.Kids))
+		for i, k := range t.Kids {
+			var err error
+			if kids[i], err = compileNode(tab, k); err != nil {
+				return nil, err
+			}
+		}
+		return expr.NewOr(kids...), nil
+	case NotNode:
+		kid, err := compileNode(tab, t.Kid)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(kid), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown node type %T", n)
+	}
+}
+
+// CompileExpr resolves a parsed WHERE-clause node against a table. DML
+// execution uses it to build the deletion restriction.
+func CompileExpr(cat *catalog.Catalog, table string, n Node) (expr.Expr, error) {
+	if n == nil {
+		return nil, nil
+	}
+	tab, err := cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return compileNode(tab, n)
+}

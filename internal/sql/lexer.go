@@ -1,0 +1,194 @@
+// Package sql implements the mini SQL dialect of the reproduction:
+// single-table SELECT with WHERE (AND/OR/NOT over comparisons, host
+// parameters as :name), ORDER BY, LIMIT [TO n ROWS], COUNT(*), and the
+// paper's OPTIMIZE FOR FAST FIRST / TOTAL TIME clause.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // :name
+	tokOp    // = <> != < <= > >=
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents verbatim
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "ORDER": true, "BY": true, "LIMIT": true, "TO": true,
+	"ROWS": true, "ROW": true, "OPTIMIZE": true, "FOR": true, "FAST": true,
+	"FIRST": true, "TOTAL": true, "TIME": true, "COUNT": true, "ASC": true,
+	"EXISTS": true, "EXPLAIN": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DELETE": true, "IN": true, "BETWEEN": true,
+	"UPDATE": true, "SET": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "DESC": true,
+}
+
+// SyntaxError reports a parse failure with its input position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokOp, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<>", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '!'")
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, errf(i, "unterminated string")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == ':':
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, errf(i, "':' without parameter name")
+			}
+			toks = append(toks, token{tokParam, src[i+1 : j], i})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			isFloat := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						return nil, errf(i, "malformed number")
+					}
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, errf(i, "unexpected character %q", rune(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || unicode.IsLetter(rune(c))
+}

@@ -1,0 +1,77 @@
+package storage
+
+import "testing"
+
+func BenchmarkBufferPoolHit(b *testing.B) {
+	d := NewDisk(8192)
+	bp := NewBufferPool(d, 64)
+	f := d.CreateFile()
+	p, err := bp.NewPage(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Get(p.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferPoolMissEvict(b *testing.B) {
+	d := NewDisk(8192)
+	bp := NewBufferPool(d, 8)
+	f := d.CreateFile()
+	const pages = 64
+	for i := 0; i < pages; i++ {
+		if _, err := bp.NewPage(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bp.FlushAll()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := PageID{File: f, No: PageNo(i % pages)}
+		if _, err := bp.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	d := NewDisk(8192)
+	bp := NewBufferPool(d, 0)
+	h := NewHeapFile(bp)
+	rec := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapSequentialScan(b *testing.B) {
+	d := NewDisk(8192)
+	bp := NewBufferPool(d, 0)
+	h := NewHeapFile(bp)
+	rec := make([]byte, 64)
+	for i := 0; i < 100000; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := h.Cursor()
+		for {
+			_, _, ok, err := c.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}

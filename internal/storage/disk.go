@@ -1,0 +1,87 @@
+package storage
+
+import "sync"
+
+// Disk simulates a disk: a set of files, each an append-only sequence of
+// pages. Reads and writes at this level are what the IOStats counters
+// measure; all access from executors goes through a BufferPool, which
+// calls down here only on misses and write-backs.
+//
+// For efficiency the simulated disk hands out page pointers rather than
+// copies. The buffer pool and disk therefore share page storage, and a
+// "write" is purely an accounting event. This preserves the paper's cost
+// shape (number of physical I/Os) without byte-level copying.
+type Disk struct {
+	mu       sync.Mutex
+	files    map[FileID][]*Page
+	nextFile FileID
+	pageSize int
+}
+
+// NewDisk creates an empty disk whose pages carry the given byte budget
+// (DefaultPageSize if size <= 0).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{files: make(map[FileID][]*Page), pageSize: pageSize}
+}
+
+// PageSize returns the byte budget of pages on this disk.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// CreateFile allocates a new empty file and returns its ID.
+func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextFile
+	d.nextFile++
+	d.files[id] = nil
+	return id
+}
+
+// DropFile removes a file and all its pages.
+func (d *Disk) DropFile(id FileID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[id]; !ok {
+		return ErrNoSuchFile
+	}
+	delete(d.files, id)
+	return nil
+}
+
+// AllocPage appends a fresh page to the file and returns it. The new
+// page is considered resident (the caller typically registers it with
+// the buffer pool); allocation itself is not charged as an I/O.
+func (d *Disk) AllocPage(id FileID) (*Page, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id]
+	if !ok {
+		return nil, ErrNoSuchFile
+	}
+	p := NewPage(PageID{File: id, No: PageNo(len(pages))}, d.pageSize)
+	d.files[id] = append(pages, p)
+	return p, nil
+}
+
+// NumPages returns the number of pages in the file, or 0 for unknown
+// files.
+func (d *Disk) NumPages(id FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[id])
+}
+
+// read fetches a page from the simulated platter. Only the buffer pool
+// calls this.
+func (d *Disk) read(id PageID) (*Page, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id.File]
+	if !ok || int(id.No) >= len(pages) {
+		return nil, ErrNoSuchPage
+	}
+	return pages[id.No], nil
+}

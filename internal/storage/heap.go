@@ -1,0 +1,131 @@
+package storage
+
+// HeapFile stores table records in page-append order. It remembers the
+// last page with free space so bulk loads fill pages densely; there is
+// no free-space map, matching the simple heap organization the paper's
+// Tscan and record-fetch costs assume.
+type HeapFile struct {
+	pool *BufferPool
+	file FileID
+	// lastPage caches the page currently receiving inserts.
+	lastPage PageNo
+	havePage bool
+	count    int64
+}
+
+// NewHeapFile creates a heap file on a fresh disk file.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, file: pool.Disk().CreateFile()}
+}
+
+// File returns the underlying disk file ID.
+func (h *HeapFile) File() FileID { return h.file }
+
+// NumPages returns the number of pages in the heap.
+func (h *HeapFile) NumPages() int { return h.pool.Disk().NumPages(h.file) }
+
+// Count returns the number of live records inserted (minus deletions).
+func (h *HeapFile) Count() int64 { return h.count }
+
+// Insert appends rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if h.havePage {
+		id := PageID{File: h.file, No: h.lastPage}
+		p, err := h.pool.Get(id)
+		if err != nil {
+			return RID{}, err
+		}
+		if slot, err := p.Insert(rec); err == nil {
+			h.pool.MarkDirty(id)
+			h.count++
+			return RID{Page: id, Slot: slot}, nil
+		} else if err != ErrPageFull {
+			return RID{}, err
+		}
+	}
+	p, err := h.pool.NewPage(h.file)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := p.Insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	h.lastPage = p.ID.No
+	h.havePage = true
+	h.count++
+	return RID{Page: p.ID, Slot: slot}, nil
+}
+
+// Get fetches the record at rid through the buffer pool.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	p, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	return p.Get(rid.Slot)
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	p, err := h.pool.GetDirty(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Delete(rid.Slot); err != nil {
+		return err
+	}
+	h.count--
+	return nil
+}
+
+// Cursor returns a sequential scan cursor positioned before the first
+// record. This is the physical engine under Tscan.
+func (h *HeapFile) Cursor() *HeapCursor {
+	return &HeapCursor{heap: h, page: 0, slot: -1}
+}
+
+// HeapCursor iterates records in physical (page, slot) order.
+type HeapCursor struct {
+	heap *HeapFile
+	page PageNo
+	slot int
+	cur  *Page
+}
+
+// Next advances to the next live record. It returns the record, its
+// RID, and false when the scan is exhausted.
+func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
+	n := PageNo(c.heap.NumPages())
+	for c.page < n {
+		if c.cur == nil || c.cur.ID.No != c.page {
+			p, err := c.heap.pool.Get(PageID{File: c.heap.file, No: c.page})
+			if err != nil {
+				return nil, RID{}, false, err
+			}
+			c.cur = p
+		}
+		c.slot++
+		for c.slot < c.cur.NumSlots() {
+			rec, err := c.cur.Get(uint16(c.slot))
+			if err == nil {
+				return rec, RID{Page: c.cur.ID, Slot: uint16(c.slot)}, true, nil
+			}
+			c.slot++ // tombstone
+		}
+		c.page++
+		c.slot = -1
+	}
+	return nil, RID{}, false, nil
+}
+
+// PagesRemaining reports how many pages the cursor has not yet entered.
+// Competition uses it to project the remaining Tscan cost.
+func (c *HeapCursor) PagesRemaining() int {
+	n := c.heap.NumPages()
+	done := int(c.page)
+	if done > n {
+		done = n
+	}
+	return n - done
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BufferPool caches pages in memory with LRU replacement and charges
+// IOStats for every miss (a simulated disk read) and every dirty-page
+// write-back (a simulated disk write).
+//
+// The pool is the single chokepoint through which executors touch pages,
+// so its counters are the ground truth for retrieval cost. Section 3(c)
+// of the paper observes that caching makes per-query cost unpredictable
+// because unrelated queries shuffle the cache; the experiments reproduce
+// that by sharing one pool between interleaved retrievals.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	stats    IOStats
+	frames   map[PageID]*list.Element // -> *frame in lru
+	lru      *list.List               // front = most recently used
+}
+
+type frame struct {
+	page  *Page
+	dirty bool
+}
+
+// NewBufferPool creates a pool over disk holding at most capacity pages.
+// A capacity <= 0 means effectively unbounded (everything stays hot
+// after first touch).
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Disk returns the underlying disk.
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Capacity returns the pool's frame capacity (<= 0 = unbounded).
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns a snapshot of the I/O counters.
+func (bp *BufferPool) Stats() IOStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the I/O counters. Experiments call this between runs.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = IOStats{}
+}
+
+// Get returns the page with the given ID, charging one read on a miss.
+func (bp *BufferPool) Get(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).page, nil
+	}
+	p, err := bp.disk.read(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.stats.Reads++
+	bp.admit(p, false)
+	return p, nil
+}
+
+// GetDirty is Get plus MarkDirty in one call.
+func (bp *BufferPool) GetDirty(id PageID) (*Page, error) {
+	p, err := bp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.MarkDirty(id)
+	return p, nil
+}
+
+// NewPage allocates a fresh page in the file and admits it to the pool
+// as dirty. Allocation is free; the eventual write-back is charged.
+func (bp *BufferPool) NewPage(file FileID) (*Page, error) {
+	p, err := bp.disk.AllocPage(file)
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.admit(p, true)
+	return p, nil
+}
+
+// MarkDirty records that the page has been modified, so its eviction or
+// flush will cost one write.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.frames[id]; ok {
+		el.Value.(*frame).dirty = true
+	}
+}
+
+// Contains reports whether the page is currently resident. Estimators
+// use it to predict whether a fetch would be a hit without paying for
+// the fetch.
+func (bp *BufferPool) Contains(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	_, ok := bp.frames[id]
+	return ok
+}
+
+// FlushAll writes back every dirty page, charging one write apiece, and
+// leaves the pages resident and clean.
+func (bp *BufferPool) FlushAll() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			bp.stats.Writes++
+			f.dirty = false
+		}
+	}
+}
+
+// EvictAll empties the pool (writing back dirty pages) so the next run
+// starts cold. Experiments call this between measured runs.
+func (bp *BufferPool) EvictAll() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		if f := el.Value.(*frame); f.dirty {
+			bp.stats.Writes++
+		}
+	}
+	bp.frames = make(map[PageID]*list.Element)
+	bp.lru.Init()
+}
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}
+
+// admit inserts page p, evicting the LRU victim if at capacity.
+// Caller holds bp.mu.
+func (bp *BufferPool) admit(p *Page, dirty bool) {
+	if bp.capacity > 0 {
+		for bp.lru.Len() >= bp.capacity {
+			victim := bp.lru.Back()
+			if victim == nil {
+				break
+			}
+			f := victim.Value.(*frame)
+			if f.dirty {
+				bp.stats.Writes++
+			}
+			delete(bp.frames, f.page.ID)
+			bp.lru.Remove(victim)
+		}
+	}
+	bp.frames[p.ID] = bp.lru.PushFront(&frame{page: p, dirty: dirty})
+}

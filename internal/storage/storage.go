@@ -1,0 +1,116 @@
+// Package storage implements the paged storage substrate used by every
+// other component of the repository: an in-memory simulated disk holding
+// slotted pages, a buffer pool with LRU replacement, heap files for table
+// records, and I/O statistics.
+//
+// The buffer pool is the cost currency of the whole reproduction. The
+// dynamic optimizer described in the paper reasons about retrieval cost in
+// units of page I/Os; here every buffer-pool miss counts as one simulated
+// read and every dirty-page eviction or explicit flush counts as one
+// simulated write. Operators attribute costs to themselves by snapshotting
+// IOStats before and after each execution step (execution is cooperative
+// and single-threaded within a query, so the attribution is exact).
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultPageSize is the byte budget of a page when a Disk is created
+// with size 0. It mirrors a common database page size.
+const DefaultPageSize = 8192
+
+// slotOverhead is the per-record bookkeeping charge inside a page. It
+// models the slot directory entry of a classic slotted page.
+const slotOverhead = 4
+
+// Errors returned by the storage layer.
+var (
+	ErrPageFull     = errors.New("storage: page full")
+	ErrNoSuchPage   = errors.New("storage: no such page")
+	ErrNoSuchSlot   = errors.New("storage: no such slot")
+	ErrNoSuchFile   = errors.New("storage: no such file")
+	ErrRecordTooBig = errors.New("storage: record exceeds page capacity")
+)
+
+// FileID names a file on the simulated disk.
+type FileID uint32
+
+// PageNo is the ordinal of a page within a file.
+type PageNo uint32
+
+// PageID uniquely names a page on the disk.
+type PageID struct {
+	File FileID
+	No   PageNo
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.File, p.No) }
+
+// RID is a record identifier: the page and slot where a record lives.
+// RIDs are the values stored in index leaves and the items carried by
+// RID lists during Jscan.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("%s.%d", r.Page, r.Slot) }
+
+// Less orders RIDs by file, page, then slot. Sorting a RID list into
+// this order makes the final fetch stage visit each page once.
+func (r RID) Less(o RID) bool {
+	if r.Page.File != o.Page.File {
+		return r.Page.File < o.Page.File
+	}
+	if r.Page.No != o.Page.No {
+		return r.Page.No < o.Page.No
+	}
+	return r.Slot < o.Slot
+}
+
+// Key packs the RID into an integer that preserves Less order for RIDs
+// of the same file. It is the hash input for bitmap filters.
+func (r RID) Key() uint64 {
+	return uint64(r.Page.No)<<16 | uint64(r.Slot)
+}
+
+// Compare returns -1, 0, or +1 ordering r against o.
+func (r RID) Compare(o RID) int {
+	switch {
+	case r.Less(o):
+		return -1
+	case o.Less(r):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IOStats counts simulated I/O and cache traffic. The zero value is
+// ready to use.
+type IOStats struct {
+	Reads  int64 // pages read from disk (buffer-pool misses)
+	Writes int64 // pages written to disk (evictions and flushes)
+	Hits   int64 // buffer-pool hits
+}
+
+// IOCost is the total number of simulated physical I/Os (reads+writes).
+// It is the quantity the paper's cost model minimizes.
+func (s IOStats) IOCost() int64 { return s.Reads + s.Writes }
+
+// Sub returns the component-wise difference s-o. Operators use it to
+// attribute cost to a step: Sub(snapshotBefore).
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+}
+
+// Add returns the component-wise sum s+o.
+func (s IOStats) Add(o IOStats) IOStats {
+	return IOStats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes, Hits: s.Hits + o.Hits}
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.Hits)
+}

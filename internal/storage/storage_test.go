@@ -1,0 +1,489 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRIDOrdering(t *testing.T) {
+	rids := []RID{
+		{Page: PageID{File: 1, No: 2}, Slot: 0},
+		{Page: PageID{File: 0, No: 5}, Slot: 9},
+		{Page: PageID{File: 0, No: 5}, Slot: 2},
+		{Page: PageID{File: 0, No: 1}, Slot: 7},
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+	want := []RID{
+		{Page: PageID{File: 0, No: 1}, Slot: 7},
+		{Page: PageID{File: 0, No: 5}, Slot: 2},
+		{Page: PageID{File: 0, No: 5}, Slot: 9},
+		{Page: PageID{File: 1, No: 2}, Slot: 0},
+	}
+	for i := range rids {
+		if rids[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, rids[i], want[i])
+		}
+	}
+}
+
+func TestRIDCompareConsistentWithLess(t *testing.T) {
+	f := func(a, b uint32, s1, s2 uint16) bool {
+		x := RID{Page: PageID{File: 0, No: PageNo(a)}, Slot: s1}
+		y := RID{Page: PageID{File: 0, No: PageNo(b)}, Slot: s2}
+		c := x.Compare(y)
+		switch {
+		case x.Less(y):
+			return c == -1
+		case y.Less(x):
+			return c == 1
+		default:
+			return c == 0 && x == y
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDKeyPreservesOrderWithinFile(t *testing.T) {
+	f := func(a, b uint32, s1, s2 uint16) bool {
+		// Page numbers in the simulator stay far below 2^32; Key packs
+		// page<<16|slot so Less order must match integer order.
+		x := RID{Page: PageID{File: 3, No: PageNo(a)}, Slot: s1}
+		y := RID{Page: PageID{File: 3, No: PageNo(b)}, Slot: s2}
+		return x.Less(y) == (x.Key() < y.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOStatsArithmetic(t *testing.T) {
+	a := IOStats{Reads: 10, Writes: 4, Hits: 100}
+	b := IOStats{Reads: 3, Writes: 1, Hits: 40}
+	d := a.Sub(b)
+	if d != (IOStats{Reads: 7, Writes: 3, Hits: 60}) {
+		t.Fatalf("Sub: got %+v", d)
+	}
+	if got := d.Add(b); got != a {
+		t.Fatalf("Add: got %+v, want %+v", got, a)
+	}
+	if a.IOCost() != 14 {
+		t.Fatalf("IOCost: got %d, want 14", a.IOCost())
+	}
+}
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := NewPage(PageID{File: 0, No: 0}, 128)
+	s0, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 == s1 {
+		t.Fatal("slots must differ")
+	}
+	got, err := p.Get(s1)
+	if err != nil || string(got) != "world!" {
+		t.Fatalf("Get(s1) = %q, %v", got, err)
+	}
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s0); err != ErrNoSuchSlot {
+		t.Fatalf("Get of tombstone: got %v, want ErrNoSuchSlot", err)
+	}
+	// Slot numbers remain stable after delete.
+	if got, err := p.Get(s1); err != nil || string(got) != "world!" {
+		t.Fatalf("Get(s1) after delete = %q, %v", got, err)
+	}
+}
+
+func TestPageRejectsOversizedRecord(t *testing.T) {
+	p := NewPage(PageID{}, 64)
+	if _, err := p.Insert(make([]byte, 100)); err != ErrRecordTooBig {
+		t.Fatalf("got %v, want ErrRecordTooBig", err)
+	}
+}
+
+func TestPageFillsToCapacityThenRejects(t *testing.T) {
+	p := NewPage(PageID{}, 100)
+	rec := make([]byte, 16) // 16+4 = 20 bytes per record -> 5 fit
+	var n int
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if err != ErrPageFull {
+				t.Fatalf("unexpected error %v", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("records inserted = %d, want 5", n)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %d, want 0", p.Free())
+	}
+}
+
+func TestPageUpdate(t *testing.T) {
+	p := NewPage(PageID{}, 128)
+	s, err := p.Insert([]byte("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(s, []byte("bbbbbbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(s)
+	if string(got) != "bbbbbbbb" {
+		t.Fatalf("got %q", got)
+	}
+	if err := p.Update(s, make([]byte, 1000)); err != ErrPageFull {
+		t.Fatalf("oversize update: got %v, want ErrPageFull", err)
+	}
+}
+
+func TestDiskFiles(t *testing.T) {
+	d := NewDisk(256)
+	f1 := d.CreateFile()
+	f2 := d.CreateFile()
+	if f1 == f2 {
+		t.Fatal("file IDs must be distinct")
+	}
+	p, err := d.AllocPage(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != (PageID{File: f1, No: 0}) {
+		t.Fatalf("page ID = %v", p.ID)
+	}
+	if d.NumPages(f1) != 1 || d.NumPages(f2) != 0 {
+		t.Fatalf("page counts: %d, %d", d.NumPages(f1), d.NumPages(f2))
+	}
+	if err := d.DropFile(f2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AllocPage(f2); err != ErrNoSuchFile {
+		t.Fatalf("alloc on dropped file: got %v", err)
+	}
+	if err := d.DropFile(f2); err != ErrNoSuchFile {
+		t.Fatalf("double drop: got %v", err)
+	}
+}
+
+func TestBufferPoolCountsMissesAndHits(t *testing.T) {
+	d := NewDisk(256)
+	bp := NewBufferPool(d, 10)
+	f := d.CreateFile()
+	p, err := bp.NewPage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID
+	// NewPage admits the page; the first Get must be a hit.
+	if _, err := bp.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	s := bp.Stats()
+	if s.Hits != 1 || s.Reads != 0 {
+		t.Fatalf("after hot get: %+v", s)
+	}
+	bp.EvictAll()
+	if _, err := bp.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	s = bp.Stats()
+	if s.Reads != 1 {
+		t.Fatalf("after cold get: %+v", s)
+	}
+}
+
+func TestBufferPoolEvictionChargesDirtyWrites(t *testing.T) {
+	d := NewDisk(256)
+	bp := NewBufferPool(d, 2)
+	f := d.CreateFile()
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		p, err := bp.NewPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	// Capacity 2: creating the 3rd page evicts the 1st, which is dirty.
+	s := bp.Stats()
+	if s.Writes != 1 {
+		t.Fatalf("writes = %d, want 1 (dirty eviction)", s.Writes)
+	}
+	if bp.Contains(ids[0]) {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if !bp.Contains(ids[1]) || !bp.Contains(ids[2]) {
+		t.Fatal("pages 1 and 2 should be resident")
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	d := NewDisk(256)
+	bp := NewBufferPool(d, 2)
+	f := d.CreateFile()
+	p0, _ := bp.NewPage(f)
+	p1, _ := bp.NewPage(f)
+	bp.FlushAll() // make both clean so evictions don't write
+	// Touch p0 so p1 becomes LRU.
+	if _, err := bp.Get(p0.ID); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := d.AllocPage(f)
+	_ = p2
+	// Reading a third page must evict p1 (the LRU), not p0.
+	if _, err := bp.Get(PageID{File: f, No: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !bp.Contains(p0.ID) {
+		t.Fatal("recently-used page evicted")
+	}
+	if bp.Contains(p1.ID) {
+		t.Fatal("LRU page not evicted")
+	}
+}
+
+func TestBufferPoolUnboundedNeverEvicts(t *testing.T) {
+	d := NewDisk(256)
+	bp := NewBufferPool(d, 0)
+	f := d.CreateFile()
+	for i := 0; i < 100; i++ {
+		if _, err := bp.NewPage(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bp.Resident() != 100 {
+		t.Fatalf("resident = %d, want 100", bp.Resident())
+	}
+	if w := bp.Stats().Writes; w != 0 {
+		t.Fatalf("writes = %d, want 0", w)
+	}
+}
+
+func TestBufferPoolFlushAllIdempotent(t *testing.T) {
+	d := NewDisk(256)
+	bp := NewBufferPool(d, 0)
+	f := d.CreateFile()
+	p, _ := bp.NewPage(f)
+	bp.MarkDirty(p.ID)
+	bp.FlushAll()
+	w1 := bp.Stats().Writes
+	bp.FlushAll()
+	if w2 := bp.Stats().Writes; w2 != w1 {
+		t.Fatalf("second flush wrote again: %d -> %d", w1, w2)
+	}
+}
+
+func newTestHeap(t *testing.T, pageSize, poolCap int) (*HeapFile, *BufferPool) {
+	t.Helper()
+	d := NewDisk(pageSize)
+	bp := NewBufferPool(d, poolCap)
+	return NewHeapFile(bp), bp
+}
+
+func TestHeapInsertGetRoundTrip(t *testing.T) {
+	h, _ := newTestHeap(t, 256, 0)
+	recs := map[RID]string{}
+	for i := 0; i < 200; i++ {
+		s := fmt.Sprintf("record-%03d", i)
+		rid, err := h.Insert([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[rid] = s
+	}
+	if h.Count() != 200 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for rid, want := range recs {
+		got, err := h.Get(rid)
+		if err != nil || string(got) != want {
+			t.Fatalf("Get(%v) = %q, %v; want %q", rid, got, err, want)
+		}
+	}
+}
+
+func TestHeapPacksPagesDensely(t *testing.T) {
+	h, _ := newTestHeap(t, 256, 0)
+	// 20-byte records cost 24 bytes -> 10 per 256-byte page.
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert(make([]byte, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.NumPages(); got != 10 {
+		t.Fatalf("pages = %d, want 10", got)
+	}
+}
+
+func TestHeapCursorSeesAllRecordsInOrder(t *testing.T) {
+	h, _ := newTestHeap(t, 256, 0)
+	var want []RID
+	for i := 0; i < 57; i++ {
+		rid, err := h.Insert([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rid)
+	}
+	c := h.Cursor()
+	var got []RID
+	for {
+		rec, rid, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(got) < len(want) && rec[0] != byte(len(got)) {
+			t.Fatalf("record %d holds %d", len(got), rec[0])
+		}
+		got = append(got, rid)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor saw %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cursor order diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapCursorSkipsTombstones(t *testing.T) {
+	h, _ := newTestHeap(t, 256, 0)
+	var rids []RID
+	for i := 0; i < 30; i++ {
+		rid, _ := h.Insert([]byte{byte(i)})
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 30; i += 2 {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := h.Cursor()
+	n := 0
+	for {
+		rec, _, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec[0]%2 == 0 {
+			t.Fatalf("deleted record %d surfaced", rec[0])
+		}
+		n++
+	}
+	if n != 15 {
+		t.Fatalf("live records = %d, want 15", n)
+	}
+	if h.Count() != 15 {
+		t.Fatalf("Count = %d, want 15", h.Count())
+	}
+}
+
+func TestHeapScanCostEqualsPageCount(t *testing.T) {
+	h, bp := newTestHeap(t, 256, 4)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert(make([]byte, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp.EvictAll()
+	bp.ResetStats()
+	c := h.Cursor()
+	for {
+		_, _, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if r := bp.Stats().Reads; int(r) != h.NumPages() {
+		t.Fatalf("cold scan reads = %d, want %d (one per page)", r, h.NumPages())
+	}
+}
+
+func TestHeapCursorPagesRemaining(t *testing.T) {
+	h, _ := newTestHeap(t, 256, 0)
+	for i := 0; i < 100; i++ {
+		h.Insert(make([]byte, 20))
+	}
+	c := h.Cursor()
+	if got := c.PagesRemaining(); got != 10 {
+		t.Fatalf("initial PagesRemaining = %d, want 10", got)
+	}
+	// Consume the first page's 10 records plus one more.
+	for i := 0; i < 11; i++ {
+		if _, _, ok, _ := c.Next(); !ok {
+			t.Fatal("cursor exhausted early")
+		}
+	}
+	if got := c.PagesRemaining(); got != 9 {
+		t.Fatalf("PagesRemaining after page 1 = %d, want 9", got)
+	}
+}
+
+// Property: random interleavings of inserts and deletes keep Get results
+// consistent with a reference map.
+func TestHeapRandomizedAgainstModel(t *testing.T) {
+	h, _ := newTestHeap(t, 512, 0)
+	rng := rand.New(rand.NewSource(42))
+	model := map[RID][]byte{}
+	var live []RID
+	for op := 0; op < 5000; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			rec := make([]byte, 1+rng.Intn(40))
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := model[rid]; dup {
+				t.Fatalf("RID %v reused", rid)
+			}
+			model[rid] = append([]byte(nil), rec...)
+			live = append(live, rid)
+		} else {
+			i := rng.Intn(len(live))
+			rid := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+		}
+	}
+	for rid, want := range model {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("Get(%v) mismatch", rid)
+		}
+	}
+	if int(h.Count()) != len(model) {
+		t.Fatalf("Count = %d, model has %d", h.Count(), len(model))
+	}
+}
