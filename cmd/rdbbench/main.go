@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,26 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (competition|hostvar|estimate|jscan|background|fastfirst|sorted|indexonly|goals|hybrid|union|ablations|interfere|histogram|samplers|all)")
 	rows := flag.Int("rows", 0, "table size for retrieval experiments (0 = experiment default)")
+	parallel := flag.Int("parallel", 0, "run the parallel-throughput benchmark with this many goroutines and write BENCH_parallel.json")
+	queries := flag.Int("queries", 0, "total queries for -parallel (0 = default)")
 	flag.Parse()
+
+	if *parallel > 0 {
+		res, err := bench.RunParallel(*parallel, *queries, *rows)
+		if err != nil {
+			fail(err)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile("BENCH_parallel.json", out, 0o644); err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
 
 	runners := map[string]func() (*bench.Report, error){
 		"competition": bench.CompetitionCosts,

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/engine"
+	"rdbdyn/internal/expr"
+)
+
+// ParallelResult is the JSON shape of BENCH_parallel.json: end-to-end
+// query throughput of one shared engine under a fixed goroutine count.
+type ParallelResult struct {
+	Goroutines    int     `json:"goroutines"`
+	Shards        int     `json:"shards"`
+	Queries       int     `json:"queries"`
+	Rows          int     `json:"rows"`
+	Seconds       float64 `json:"seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	TotalIOs      int64   `json:"total_ios"`
+}
+
+// RunParallel loads a table and drives point queries from the given
+// number of goroutines over one shared sharded-pool DB, reporting
+// wall-clock throughput and total simulated I/O. queries is the total
+// across all goroutines (0 = default).
+func RunParallel(goroutines, queries, rows int) (*ParallelResult, error) {
+	if goroutines <= 0 {
+		goroutines = 1
+	}
+	if queries <= 0 {
+		queries = 4000
+	}
+	if rows <= 0 {
+		rows = 50000
+	}
+	db := engine.Open(engine.Options{PoolFrames: 8192, PoolShards: 16})
+	if _, err := db.CreateTable("T",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "AGE", Type: expr.TypeInt},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateIndex("T", "AGE_IX", "AGE"); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("T", i, int(rng.Int63n(10000))); err != nil {
+			return nil, err
+		}
+	}
+	stmt, err := db.Prepare("SELECT * FROM T WHERE AGE = :A")
+	if err != nil {
+		return nil, err
+	}
+
+	// Start cold so the run's simulated I/O is visible in the report.
+	db.Pool().EvictAll()
+	before := db.Pool().Stats()
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		n := queries / goroutines
+		if w < queries%goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < n; i++ {
+				res, err := stmt.Query(engine.Binds{"A": int(rng.Int63n(10000))})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if _, err := res.All(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	delta := db.Pool().Stats().Sub(before)
+	return &ParallelResult{
+		Goroutines:    goroutines,
+		Shards:        db.Pool().Shards(),
+		Queries:       queries,
+		Rows:          rows,
+		Seconds:       elapsed.Seconds(),
+		QueriesPerSec: float64(queries) / elapsed.Seconds(),
+		TotalIOs:      delta.IOCost(),
+	}, nil
+}

@@ -27,6 +27,7 @@ package btree
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rdbdyn/internal/expr"
 	"rdbdyn/internal/storage"
@@ -55,7 +56,11 @@ type BTree struct {
 	// cache holds decoded nodes. Pages remain authoritative (every
 	// mutation re-serializes into the page); the cache only avoids
 	// repeated decoding. I/O accounting happens on the pool.Get that
-	// precedes every cache lookup.
+	// precedes every cache lookup. cmu guards the map so concurrent
+	// read-only descents may populate it safely; tree mutations
+	// (Insert/Delete) must be serialized by the caller and must not
+	// overlap reads of the same tree.
+	cmu   sync.RWMutex
 	cache map[storage.PageNo]*node
 }
 
@@ -110,24 +115,36 @@ func (t *BTree) AvgInternalFanout() float64 {
 	return float64(t.totChildren) / float64(t.numInternal)
 }
 
-// load fetches a node, charging buffer-pool traffic.
-func (t *BTree) load(no storage.PageNo) (*node, error) {
-	p, err := t.pool.Get(storage.PageID{File: t.file, No: no})
+// load fetches a node, charging buffer-pool traffic to tr (nil = global
+// counters only).
+func (t *BTree) load(no storage.PageNo, tr *storage.Tracker) (*node, error) {
+	p, err := t.pool.GetTracked(storage.PageID{File: t.file, No: no}, tr)
 	if err != nil {
 		return nil, err
 	}
-	if n, ok := t.cache[no]; ok {
+	t.cmu.RLock()
+	n, ok := t.cache[no]
+	t.cmu.RUnlock()
+	if ok {
 		return n, nil
 	}
 	blob, err := p.Get(0)
 	if err != nil {
 		return nil, fmt.Errorf("btree: node page %d has no blob: %w", no, err)
 	}
-	n, err := decodeNode(blob, t.data)
+	n, err = decodeNode(blob, t.data)
 	if err != nil {
 		return nil, err
 	}
-	t.cache[no] = n
+	t.cmu.Lock()
+	// Two concurrent descents may race to decode the same page; keep the
+	// first decode so there is one canonical node per page.
+	if prior, ok := t.cache[no]; ok {
+		n = prior
+	} else {
+		t.cache[no] = n
+	}
+	t.cmu.Unlock()
 	return n, nil
 }
 
@@ -140,7 +157,9 @@ func (t *BTree) store(no storage.PageNo, n *node) error {
 	if err := p.Update(0, n.encode()); err != nil {
 		return fmt.Errorf("btree: node %d overflow: %w", no, err)
 	}
+	t.cmu.Lock()
 	t.cache[no] = n
+	t.cmu.Unlock()
 	return nil
 }
 
@@ -153,7 +172,9 @@ func (t *BTree) allocNode(n *node) (storage.PageNo, error) {
 	if _, err := p.Insert(n.encode()); err != nil {
 		return 0, err
 	}
+	t.cmu.Lock()
 	t.cache[p.ID.No] = n
+	t.cmu.Unlock()
 	return p.ID.No, nil
 }
 
@@ -239,7 +260,7 @@ func (t *BTree) Insert(key []byte, rid storage.RID) error {
 }
 
 func (t *BTree) mustSubtreeCount(no storage.PageNo) int64 {
-	n, err := t.load(no)
+	n, err := t.load(no, nil)
 	if err != nil {
 		return 0
 	}
@@ -247,7 +268,7 @@ func (t *BTree) mustSubtreeCount(no storage.PageNo) int64 {
 }
 
 func (t *BTree) insertAt(no storage.PageNo, key []byte, rid storage.RID) (*splitResult, error) {
-	n, err := t.load(no)
+	n, err := t.load(no, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +392,7 @@ func (t *BTree) Delete(key []byte, rid storage.RID) (bool, error) {
 }
 
 func (t *BTree) deleteAt(no storage.PageNo, key []byte, rid storage.RID) (bool, error) {
-	n, err := t.load(no)
+	n, err := t.load(no, nil)
 	if err != nil {
 		return false, err
 	}
@@ -398,7 +419,7 @@ func (t *BTree) deleteAt(no storage.PageNo, key []byte, rid storage.RID) (bool, 
 func (t *BTree) Contains(key []byte, rid storage.RID) (bool, error) {
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, nil)
 		if err != nil {
 			return false, err
 		}

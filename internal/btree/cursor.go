@@ -16,16 +16,21 @@ type Cursor struct {
 	no   storage.PageNo
 	pos  int
 	done bool
+	tr   *storage.Tracker
 }
 
 // Seek positions a cursor at the first entry with key >= lo (or the
 // first entry overall when lo is nil). hi is the exclusive upper bound
 // on keys (nil = unbounded).
-func (t *BTree) Seek(lo, hi []byte) (*Cursor, error) {
-	c := &Cursor{tree: t, hi: hi}
+func (t *BTree) Seek(lo, hi []byte) (*Cursor, error) { return t.SeekTracked(lo, hi, nil) }
+
+// SeekTracked is Seek charging the descent and all subsequent cursor
+// page accesses to tr.
+func (t *BTree) SeekTracked(lo, hi []byte, tr *storage.Tracker) (*Cursor, error) {
+	c := &Cursor{tree: t, hi: hi, tr: tr}
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +73,7 @@ func (c *Cursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
 			return nil, storage.RID{}, false, nil
 		}
 		next := storage.PageNo(c.node.next - 1)
-		n, err := c.tree.load(next)
+		n, err := c.tree.load(next, c.tr)
 		if err != nil {
 			return nil, storage.RID{}, false, err
 		}

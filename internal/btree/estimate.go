@@ -42,7 +42,7 @@ func (t *BTree) EstimateRange(lo, hi []byte) (Estimate, error) {
 	no := t.root
 	level := t.height
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, nil)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -102,12 +102,18 @@ func (t *BTree) EstimateRange(lo, hi []byte) (Estimate, error) {
 // whole range was resolved by leaf counts (at most two leaves), so the
 // estimate is a true count.
 func (t *BTree) EstimateRangeRefined(lo, hi []byte) (rids float64, exact bool, err error) {
-	return t.refineAt(t.root, t.height, lo, hi)
+	return t.refineAt(t.root, t.height, lo, hi, nil)
 }
 
-func (t *BTree) refineAt(no storage.PageNo, level int, lo, hi []byte) (float64, bool, error) {
+// EstimateRangeRefinedTracked is EstimateRangeRefined charging the
+// descents to tr, so a query's planning I/O is attributed to that query.
+func (t *BTree) EstimateRangeRefinedTracked(lo, hi []byte, tr *storage.Tracker) (rids float64, exact bool, err error) {
+	return t.refineAt(t.root, t.height, lo, hi, tr)
+}
+
+func (t *BTree) refineAt(no storage.PageNo, level int, lo, hi []byte, tr *storage.Tracker) (float64, bool, error) {
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, tr)
 		if err != nil {
 			return 0, false, err
 		}
@@ -135,11 +141,11 @@ func (t *BTree) refineAt(no storage.PageNo, level int, lo, hi []byte) (float64, 
 		// the tree is used as a histogram, not as an exact counter).
 		interior := iHi - iLo - 1
 		est := float64(interior) * t.subtreeSizeEstimate(level-1)
-		left, lx, err := t.refineAt(n.children[iLo], level-1, lo, nil)
+		left, lx, err := t.refineAt(n.children[iLo], level-1, lo, nil, tr)
 		if err != nil {
 			return 0, false, err
 		}
-		right, rx, err := t.refineAt(n.children[iHi], level-1, nil, hi)
+		right, rx, err := t.refineAt(n.children[iHi], level-1, nil, hi, tr)
 		if err != nil {
 			return 0, false, err
 		}
@@ -193,7 +199,7 @@ func (t *BTree) Rank(k []byte) (int64, error) {
 	var rank int64
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -239,7 +245,7 @@ func (t *BTree) CountRange(lo, hi []byte) (int64, error) {
 func (t *BTree) EntryAt(rank int64) (key []byte, rid storage.RID, err error) {
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, nil)
 		if err != nil {
 			return nil, storage.RID{}, err
 		}
@@ -305,7 +311,7 @@ func (t *BTree) SampleAcceptReject(rng *rand.Rand, maxFanout int) (key []byte, r
 	accept := 1.0
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, nil)
 		if err != nil {
 			return nil, storage.RID{}, false, visits, err
 		}

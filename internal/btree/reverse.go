@@ -20,6 +20,7 @@ type ReverseCursor struct {
 	node  *node
 	pos   int
 	done  bool
+	tr    *storage.Tracker
 }
 
 type revFrame struct {
@@ -31,10 +32,16 @@ type revFrame struct {
 // the last entry overall when hi is nil). lo is the inclusive lower
 // bound on keys (nil = unbounded).
 func (t *BTree) SeekReverse(lo, hi []byte) (*ReverseCursor, error) {
-	c := &ReverseCursor{tree: t, lo: lo}
+	return t.SeekReverseTracked(lo, hi, nil)
+}
+
+// SeekReverseTracked is SeekReverse charging the descent and all
+// subsequent cursor page accesses to tr.
+func (t *BTree) SeekReverseTracked(lo, hi []byte, tr *storage.Tracker) (*ReverseCursor, error) {
+	c := &ReverseCursor{tree: t, lo: lo, tr: tr}
 	no := t.root
 	for {
-		n, err := t.load(no)
+		n, err := t.load(no, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -75,13 +82,13 @@ func (c *ReverseCursor) retreat() error {
 		c.stack[len(c.stack)-1].idx--
 		// Descend rightmost from the new child.
 		f := c.stack[len(c.stack)-1]
-		parent, err := c.tree.load(f.no)
+		parent, err := c.tree.load(f.no, c.tr)
 		if err != nil {
 			return err
 		}
 		no := parent.children[f.idx]
 		for {
-			n, err := c.tree.load(no)
+			n, err := c.tree.load(no, c.tr)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,13 @@
 // Package catalog defines tables, columns, and index metadata, and keeps
 // heap files and B-tree indexes consistent under inserts and deletes.
 //
+// Concurrency: the catalog registry is guarded by an RWMutex, so table
+// registration and lookup are safe from any goroutine. Each table
+// serializes its mutations (Insert/Update/Delete/CreateIndex) behind a
+// per-table mutex; read paths (Fetch, index scans) may run concurrently
+// with each other, but a mutation must not overlap reads of the same
+// table — higher layers or the application schedule that.
+//
 // The catalog is also where the paper's per-query index classification
 // (Section 4) gets its raw material: an index is *self-sufficient* for a
 // query when its key columns cover every column the query touches,
@@ -12,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"rdbdyn/internal/btree"
 	"rdbdyn/internal/expr"
@@ -34,9 +42,11 @@ type Column struct {
 	Type expr.Type
 }
 
-// Catalog is the schema registry of one database.
+// Catalog is the schema registry of one database. Registration and
+// lookup are safe for concurrent use.
 type Catalog struct {
 	pool   *storage.BufferPool
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -50,6 +60,8 @@ func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
 
 // CreateTable registers a new table with the given columns.
 func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateTable, name)
 	}
@@ -75,7 +87,9 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 
 // Table looks a table up by name.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
@@ -84,6 +98,8 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Tables returns all table names.
 func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
@@ -99,6 +115,9 @@ type Table struct {
 	Indexes []*Index
 
 	pool *storage.BufferPool
+	// wmu serializes mutations (Insert/Update/Delete/CreateIndex) so
+	// concurrent writers cannot corrupt the heap or the index trees.
+	wmu sync.Mutex
 }
 
 // ColumnIndex returns the position of the named column.
@@ -138,11 +157,13 @@ func (t *Table) checkRow(row expr.Row) error {
 }
 
 // Insert stores a row and maintains every index. It returns the row's
-// RID.
+// RID. Inserts on the same table serialize behind a per-table mutex.
 func (t *Table) Insert(row expr.Row) (storage.RID, error) {
 	if err := t.checkRow(row); err != nil {
 		return storage.RID{}, err
 	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	rid, err := t.Heap.Insert(expr.EncodeRow(row))
 	if err != nil {
 		return storage.RID{}, err
@@ -156,8 +177,11 @@ func (t *Table) Insert(row expr.Row) (storage.RID, error) {
 }
 
 // Fetch reads and decodes the row at rid.
-func (t *Table) Fetch(rid storage.RID) (expr.Row, error) {
-	rec, err := t.Heap.Get(rid)
+func (t *Table) Fetch(rid storage.RID) (expr.Row, error) { return t.FetchTracked(rid, nil) }
+
+// FetchTracked is Fetch charging the page access to tr.
+func (t *Table) FetchTracked(rid storage.RID, tr *storage.Tracker) (expr.Row, error) {
+	rec, err := t.Heap.GetTracked(rid, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +196,8 @@ func (t *Table) Update(rid storage.RID, newRow expr.Row) error {
 	if err := t.checkRow(newRow); err != nil {
 		return err
 	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	oldRow, err := t.Fetch(rid)
 	if err != nil {
 		return err
@@ -200,6 +226,8 @@ func (t *Table) Update(rid storage.RID, newRow expr.Row) error {
 
 // Delete removes the row at rid from the heap and all indexes.
 func (t *Table) Delete(rid storage.RID) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	row, err := t.Fetch(rid)
 	if err != nil {
 		return err
@@ -215,6 +243,8 @@ func (t *Table) Delete(rid storage.RID) error {
 // CreateIndex builds a B-tree index over the named columns, populating
 // it from existing rows.
 func (t *Table) CreateIndex(name string, colNames ...string) (*Index, error) {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	for _, ix := range t.Indexes {
 		if ix.Name == name {
 			return nil, fmt.Errorf("%w: %s", ErrDuplicateIndex, name)

@@ -41,7 +41,7 @@ func newFinalStage(q *Query, c *rid.Container, delivered []storage.RID, out *row
 		q:    q,
 		rids: rids,
 		out:  out,
-		m:    meter{pool: q.Table.Pool()},
+		m:    newMeter(),
 	}
 	if len(delivered) > 0 {
 		f.exclude = rid.NewSortedList(delivered)
@@ -56,33 +56,30 @@ func (f *finalStage) step() (bool, error) {
 	if f.done {
 		return true, nil
 	}
-	err := f.m.measure(func() error {
-		for fetches := 0; fetches < 4; {
-			if f.pos >= len(f.rids) {
-				f.done = true
-				return nil
-			}
-			r := f.rids[f.pos]
-			f.pos++
-			if f.exclude != nil && f.exclude.MayContain(r) {
-				continue
-			}
-			row, err := f.q.Table.Fetch(r)
-			if err != nil {
-				return err
-			}
-			fetches++
-			keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
-			if err != nil {
-				return err
-			}
-			if keep {
-				f.out.push(f.q.project(row))
-			}
+	for fetches := 0; fetches < 4; {
+		if f.pos >= len(f.rids) {
+			f.done = true
+			return true, nil
 		}
-		return nil
-	})
-	return f.done, err
+		r := f.rids[f.pos]
+		f.pos++
+		if f.exclude != nil && f.exclude.MayContain(r) {
+			continue
+		}
+		row, err := f.q.Table.FetchTracked(r, f.m.tr)
+		if err != nil {
+			return f.done, err
+		}
+		fetches++
+		keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
+		if err != nil {
+			return f.done, err
+		}
+		if keep {
+			f.out.push(f.q.project(row))
+		}
+	}
+	return f.done, nil
 }
 
 // sortRows orders rows by the given column positions ascending (the

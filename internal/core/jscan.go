@@ -93,7 +93,7 @@ func newJscan(q *Query, cfg Config, model estimate.CostModel, ests []estimate.In
 		model:          model,
 		ests:           ests,
 		st:             st,
-		m:              meter{pool: q.Table.Pool()},
+		m:              newMeter(),
 		filter:         rid.TrueFilter{},
 		guaranteedBest: model.TscanCost(),
 		tscanCost:      model.TscanCost(),
@@ -153,22 +153,19 @@ func (j *jscan) step() (bool, error) {
 	if j.done {
 		return true, nil
 	}
-	err := j.m.measure(func() error {
-		if j.race != nil {
-			return j.stepRace()
+	if j.race != nil {
+		return j.done, j.stepRace()
+	}
+	if j.cur == nil {
+		if !j.startNextScan() {
+			j.finish()
+			return j.done, nil
 		}
-		if j.cur == nil {
-			if !j.startNextScan() {
-				j.finish()
-				return nil
-			}
-		}
-		if j.race != nil {
-			return j.stepRace()
-		}
-		return j.stepSequential()
-	})
-	return j.done, err
+	}
+	if j.race != nil {
+		return j.done, j.stepRace()
+	}
+	return j.done, j.stepSequential()
 }
 
 // finish concludes the joint scan: the last complete RID list is the
@@ -222,14 +219,14 @@ func (j *jscan) startNextScan() bool {
 }
 
 func (j *jscan) openSequential(e estimate.IndexEstimate) bool {
-	cur, err := e.Index.Tree.Seek(e.Lo, e.Hi)
+	cur, err := e.Index.Tree.SeekTracked(e.Lo, e.Hi, j.m.tr)
 	if err != nil {
 		return false
 	}
 	j.cur = cur
 	j.curIx = e.Index
 	j.local = localRestriction(j.q.Restriction, e.Index)
-	j.list = rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	j.list = rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
 	j.seen = 0
 	j.rangeEst = e.RIDs
 	if j.rangeEst < 1 {
@@ -372,7 +369,7 @@ func (j *jscan) startRace(a, b estimate.IndexEstimate) bool {
 }
 
 func (j *jscan) openLeg(e estimate.IndexEstimate) (raceLeg, bool) {
-	cur, err := e.Index.Tree.Seek(e.Lo, e.Hi)
+	cur, err := e.Index.Tree.SeekTracked(e.Lo, e.Hi, j.m.tr)
 	if err != nil {
 		return raceLeg{}, false
 	}
@@ -480,7 +477,7 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) {
 		tracef(j.st, "jscan: race winner %s useless (%d rids)", w.ix.Name, n)
 		return
 	}
-	c := rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	c := rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
 	for _, r := range w.rids {
 		if err := c.Append(r); err != nil {
 			return
@@ -502,7 +499,7 @@ func (j *jscan) continueLoser(l *raceLeg) {
 	j.cur = l.cur
 	j.curIx = l.ix
 	j.local = l.local
-	j.list = rid.NewContainer(j.q.Table.Pool(), j.cfg.RID)
+	j.list = rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
 	for _, r := range l.rids {
 		if j.filter.MayContain(r) {
 			if err := j.list.Append(r); err != nil {

@@ -4,18 +4,25 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/estimate"
 	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
 )
 
 // Optimizer is the dynamic optimizer. It keeps cross-run state: the
 // winning index order of previous retrievals on each table (used to
 // pre-arrange the next initial stage) and cached cluster-ratio samples
 // per index.
+//
+// Run may be called from many goroutines at once; mu guards the shared
+// cross-run state (rng, prevOrder, cluster). Each retrieval's own state
+// lives in the returned Rows and is confined to its caller.
 type Optimizer struct {
 	cfg       Config
+	mu        sync.Mutex
 	rng       *rand.Rand
 	prevOrder map[string][]string
 	cluster   map[*catalog.Index]float64
@@ -69,8 +76,13 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 		return o.runSorted(q)
 	}
 
-	// Initial stage over the fetch-needed indexes.
-	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: o.prevOrder[q.Table.Name]}
+	// Initial stage over the fetch-needed indexes. The prevOrder slice
+	// is replaced wholesale by the observer, never mutated, so reading
+	// its elements outside the lock is safe.
+	o.mu.Lock()
+	prev := o.prevOrder[q.Table.Name]
+	o.mu.Unlock()
+	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: prev}
 	res, err := estimate.Appraise(cl.FetchNeeded, q.Restriction, q.Binds, opts)
 	if err != nil {
 		return nil, err
@@ -108,9 +120,9 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 		// No conjunct-level index use. A top-level OR whose disjuncts
 		// are all index-coverable can still be resolved by a union
 		// scan; otherwise the classical sequential retrieval remains.
-		before := q.Table.Pool().Stats().IOCost()
-		legs := unionLegs(q)
-		r.st.EstimateIO += q.Table.Pool().Stats().IOCost() - before
+		ptr := new(storage.Tracker)
+		legs := unionLegs(q, ptr)
+		r.st.EstimateIO += ptr.IOCost()
 		if legs != nil {
 			o.planUnion(q, legs, r, model, goal)
 		} else {
@@ -204,6 +216,7 @@ func (o *Optimizer) costModel(q *Query, cl Classification) estimate.CostModel {
 	// clustering "may be hard to detect".
 	if len(cl.FetchNeeded) > 0 {
 		ix := cl.FetchNeeded[0]
+		o.mu.Lock()
 		r, ok := o.cluster[ix]
 		if !ok {
 			var err error
@@ -213,6 +226,7 @@ func (o *Optimizer) costModel(q *Query, cl Classification) estimate.CostModel {
 			}
 			o.cluster[ix] = r
 		}
+		o.mu.Unlock()
 		m.ClusterRatio = r
 	}
 	return m
@@ -223,7 +237,9 @@ func (o *Optimizer) costModel(q *Query, cl Classification) estimate.CostModel {
 func (o *Optimizer) observer(q *Query) func([]string) {
 	return func(names []string) {
 		if len(names) > 0 {
+			o.mu.Lock()
 			o.prevOrder[q.Table.Name] = names
+			o.mu.Unlock()
 		}
 	}
 }

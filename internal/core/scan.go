@@ -21,23 +21,19 @@ type stepper interface {
 	name() string
 }
 
-// meter attributes buffer-pool I/O to one scan. Execution within a
-// query is single-threaded, so snapshot differencing is exact.
+// meter attributes buffer-pool I/O to one scan through a per-scan
+// Tracker. The tracked storage accessors charge the tracker directly,
+// so attribution stays exact even while concurrent queries drive the
+// same pool (global-snapshot differencing would not).
 type meter struct {
-	pool  *storage.BufferPool
-	stats storage.IOStats
+	tr *storage.Tracker
 }
 
-func (m *meter) measure(f func() error) error {
-	before := m.pool.Stats()
-	err := f()
-	m.stats = m.stats.Add(m.pool.Stats().Sub(before))
-	return err
-}
+func newMeter() meter { return meter{tr: new(storage.Tracker)} }
 
-func (m *meter) cost() float64       { return float64(m.stats.IOCost()) }
-func (m *meter) total() int64        { return m.stats.IOCost() }
-func (m *meter) io() storage.IOStats { return m.stats }
+func (m *meter) cost() float64       { return float64(m.tr.IOCost()) }
+func (m *meter) total() int64        { return m.tr.IOCost() }
+func (m *meter) io() storage.IOStats { return m.tr.Stats() }
 
 // entryCursor is the common face of forward and reverse index cursors.
 type entryCursor interface {
@@ -45,12 +41,12 @@ type entryCursor interface {
 }
 
 // newEntryCursor opens a cursor over [lo, hi) in the requested
-// direction.
-func newEntryCursor(tree *btree.BTree, lo, hi []byte, desc bool) (entryCursor, error) {
+// direction, charging its page accesses to tr.
+func newEntryCursor(tree *btree.BTree, lo, hi []byte, desc bool, tr *storage.Tracker) (entryCursor, error) {
 	if desc {
-		return tree.SeekReverse(lo, hi)
+		return tree.SeekReverseTracked(lo, hi, tr)
 	}
-	return tree.Seek(lo, hi)
+	return tree.SeekTracked(lo, hi, tr)
 }
 
 // rowQueue is the delivery buffer between a producing scan and the
@@ -101,11 +97,12 @@ func newTscan(q *Query, out *rowQueue) *tscan {
 	if pages > 0 {
 		rpp = int(q.Table.Cardinality())/pages + 1
 	}
+	m := newMeter()
 	return &tscan{
 		q:   q,
-		cur: q.Table.Heap.Cursor(),
+		cur: q.Table.Heap.CursorTracked(m.tr),
 		out: out,
-		m:   meter{pool: q.Table.Pool()},
+		m:   m,
 		rpp: rpp,
 	}
 }
@@ -117,34 +114,31 @@ func (t *tscan) step() (bool, error) {
 	if t.done {
 		return true, nil
 	}
-	err := t.m.measure(func() error {
-		for i := 0; i < t.rpp; i++ {
-			rec, rrid, ok, err := t.cur.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				t.done = true
-				return nil
-			}
-			if t.exclude != nil && t.exclude.MayContain(rrid) {
-				continue
-			}
-			row, err := expr.DecodeRow(rec)
-			if err != nil {
-				return err
-			}
-			keep, err := expr.EvalPred(t.q.Restriction, row, t.q.Binds)
-			if err != nil {
-				return err
-			}
-			if keep {
-				t.out.push(t.q.project(row))
-			}
+	for i := 0; i < t.rpp; i++ {
+		rec, rrid, ok, err := t.cur.Next()
+		if err != nil {
+			return t.done, err
 		}
-		return nil
-	})
-	return t.done, err
+		if !ok {
+			t.done = true
+			return true, nil
+		}
+		if t.exclude != nil && t.exclude.MayContain(rrid) {
+			continue
+		}
+		row, err := expr.DecodeRow(rec)
+		if err != nil {
+			return t.done, err
+		}
+		keep, err := expr.EvalPred(t.q.Restriction, row, t.q.Binds)
+		if err != nil {
+			return t.done, err
+		}
+		if keep {
+			t.out.push(t.q.project(row))
+		}
+	}
+	return t.done, nil
 }
 
 // pagesRemaining projects the scan's remaining cost.
@@ -166,7 +160,8 @@ type sscan struct {
 }
 
 func newSscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*sscan, error) {
-	cur, err := newEntryCursor(ix.Tree, lo, hi, desc)
+	m := newMeter()
+	cur, err := newEntryCursor(ix.Tree, lo, hi, desc, m.tr)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +170,7 @@ func newSscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep
 		ix:      ix,
 		cur:     cur,
 		out:     out,
-		m:       meter{pool: q.Table.Pool()},
+		m:       m,
 		perStep: perStep,
 	}, nil
 }
@@ -187,32 +182,29 @@ func (s *sscan) step() (bool, error) {
 	if s.done {
 		return true, nil
 	}
-	err := s.m.measure(func() error {
-		for i := 0; i < s.perStep; i++ {
-			key, rid, ok, err := s.cur.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				s.done = true
-				return nil
-			}
-			row, err := s.ix.DecodeEntry(key)
-			if err != nil {
-				return err
-			}
-			keep, err := expr.EvalPred(s.q.Restriction, row, s.q.Binds)
-			if err != nil {
-				return err
-			}
-			if keep {
-				s.out.push(s.q.project(row))
-				s.delivered = append(s.delivered, rid)
-			}
+	for i := 0; i < s.perStep; i++ {
+		key, rid, ok, err := s.cur.Next()
+		if err != nil {
+			return s.done, err
 		}
-		return nil
-	})
-	return s.done, err
+		if !ok {
+			s.done = true
+			return true, nil
+		}
+		row, err := s.ix.DecodeEntry(key)
+		if err != nil {
+			return s.done, err
+		}
+		keep, err := expr.EvalPred(s.q.Restriction, row, s.q.Binds)
+		if err != nil {
+			return s.done, err
+		}
+		if keep {
+			s.out.push(s.q.project(row))
+			s.delivered = append(s.delivered, rid)
+		}
+	}
+	return s.done, nil
 }
 
 // fscan is the classical indexed retrieval: scan a fetch-needed index
@@ -250,7 +242,8 @@ func localRestriction(e expr.Expr, ix *catalog.Index) expr.Expr {
 }
 
 func newFscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*fscan, error) {
-	cur, err := newEntryCursor(ix.Tree, lo, hi, desc)
+	m := newMeter()
+	cur, err := newEntryCursor(ix.Tree, lo, hi, desc, m.tr)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +253,7 @@ func newFscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep
 		cur:     cur,
 		local:   localRestriction(q.Restriction, ix),
 		out:     out,
-		m:       meter{pool: q.Table.Pool()},
+		m:       m,
 		perStep: perStep,
 	}, nil
 }
@@ -276,51 +269,48 @@ func (f *fscan) step() (bool, error) {
 	if f.done {
 		return true, nil
 	}
-	err := f.m.measure(func() error {
-		fetches := 0
-		for i := 0; i < f.perStep && fetches < 4; i++ {
-			key, rid, ok, err := f.cur.Next()
+	fetches := 0
+	for i := 0; i < f.perStep && fetches < 4; i++ {
+		key, rid, ok, err := f.cur.Next()
+		if err != nil {
+			return f.done, err
+		}
+		if !ok {
+			f.done = true
+			return true, nil
+		}
+		f.scanned++
+		if f.local != nil {
+			row, err := f.ix.DecodeEntry(key)
 			if err != nil {
-				return err
+				return f.done, err
 			}
-			if !ok {
-				f.done = true
-				return nil
+			keep, err := expr.EvalPred(f.local, row, f.q.Binds)
+			if err != nil {
+				return f.done, err
 			}
-			f.scanned++
-			if f.local != nil {
-				row, err := f.ix.DecodeEntry(key)
-				if err != nil {
-					return err
-				}
-				keep, err := expr.EvalPred(f.local, row, f.q.Binds)
-				if err != nil {
-					return err
-				}
-				if !keep {
-					continue
-				}
-			}
-			if f.filter != nil && !f.filter(rid) {
+			if !keep {
 				continue
 			}
-			row, err := f.q.Table.Fetch(rid)
-			if err != nil {
-				return err
-			}
-			fetches++
-			f.fetched++
-			keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
-			if err != nil {
-				return err
-			}
-			if keep {
-				f.out.push(f.q.project(row))
-			}
 		}
-		return nil
-	})
-	return f.done, err
+		if f.filter != nil && !f.filter(rid) {
+			continue
+		}
+		row, err := f.q.Table.FetchTracked(rid, f.m.tr)
+		if err != nil {
+			return f.done, err
+		}
+		fetches++
+		f.fetched++
+		keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
+		if err != nil {
+			return f.done, err
+		}
+		if keep {
+			f.out.push(f.q.project(row))
+		}
+	}
+	return f.done, nil
 }
 
 // borrowFetcher is the fast-first foreground: it consumes RIDs borrowed
@@ -345,7 +335,7 @@ func newBorrowFetcher(q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borro
 		q:       q,
 		in:      in,
 		out:     out,
-		m:       meter{pool: q.Table.Pool()},
+		m:       newMeter(),
 		capRIDs: capRIDs,
 	}
 }
@@ -357,36 +347,33 @@ func (b *borrowFetcher) step() (bool, error) {
 	if b.done {
 		return true, nil
 	}
-	err := b.m.measure(func() error {
-		for fetches := 0; fetches < 4; fetches++ {
-			if b.in.empty() {
-				if b.in.closed {
-					b.done = true
-				}
-				return nil
+	for fetches := 0; fetches < 4; fetches++ {
+		if b.in.empty() {
+			if b.in.closed {
+				b.done = true
 			}
-			rid := b.in.pop()
-			row, err := b.q.Table.Fetch(rid)
-			if err != nil {
-				return err
-			}
-			keep, err := expr.EvalPred(b.q.Restriction, row, b.q.Binds)
-			if err != nil {
-				return err
-			}
-			// Only delivered rows need bookkeeping: rows rejected here
-			// will be rejected again by Fin's restriction re-check.
-			if keep {
-				b.out.push(b.q.project(row))
-				b.delivered = append(b.delivered, rid)
-				if len(b.delivered) >= b.capRIDs {
-					b.overflow = true
-					b.done = true
-					return nil
-				}
+			return b.done, nil
+		}
+		rid := b.in.pop()
+		row, err := b.q.Table.FetchTracked(rid, b.m.tr)
+		if err != nil {
+			return b.done, err
+		}
+		keep, err := expr.EvalPred(b.q.Restriction, row, b.q.Binds)
+		if err != nil {
+			return b.done, err
+		}
+		// Only delivered rows need bookkeeping: rows rejected here
+		// will be rejected again by Fin's restriction re-check.
+		if keep {
+			b.out.push(b.q.project(row))
+			b.delivered = append(b.delivered, rid)
+			if len(b.delivered) >= b.capRIDs {
+				b.overflow = true
+				b.done = true
+				return true, nil
 			}
 		}
-		return nil
-	})
-	return b.done, err
+	}
+	return b.done, nil
 }

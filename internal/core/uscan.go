@@ -63,8 +63,9 @@ type unionLeg struct {
 
 // unionLegs maps the disjuncts of the first index-coverable top-level
 // OR conjunct onto index scans. It returns nil when no such conjunct
-// exists (some disjunct is unsargable on every index).
-func unionLegs(q *Query) []unionLeg {
+// exists (some disjunct is unsargable on every index). Estimation I/O
+// is charged to tr (nil = untracked).
+func unionLegs(q *Query, tr *storage.Tracker) []unionLeg {
 	for _, cj := range expr.Conjuncts(q.Restriction) {
 		or, ok := cj.(*expr.Or)
 		if !ok || len(or.Kids) == 0 {
@@ -73,7 +74,7 @@ func unionLegs(q *Query) []unionLeg {
 		legs := make([]unionLeg, 0, len(or.Kids))
 		covered := true
 		for _, d := range or.Kids {
-			leg, ok := legForDisjunct(q, d)
+			leg, ok := legForDisjunct(q, d, tr)
 			if !ok {
 				covered = false
 				break
@@ -89,7 +90,7 @@ func unionLegs(q *Query) []unionLeg {
 
 // legForDisjunct finds the most selective index whose bounds cover the
 // disjunct.
-func legForDisjunct(q *Query, d expr.Expr) (unionLeg, bool) {
+func legForDisjunct(q *Query, d expr.Expr, tr *storage.Tracker) (unionLeg, bool) {
 	var (
 		best    unionLeg
 		bestEst = -1.0
@@ -106,7 +107,7 @@ func legForDisjunct(q *Query, d expr.Expr) (unionLeg, bool) {
 		if lo == nil && hi == nil {
 			continue
 		}
-		rids, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		rids, _, err := ix.Tree.EstimateRangeRefinedTracked(lo, hi, tr)
 		if err != nil {
 			continue
 		}
@@ -135,14 +136,15 @@ func localDisjunct(d expr.Expr, ix *catalog.Index) expr.Expr {
 }
 
 func newUscan(q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, st *RetrievalStats) *uscan {
+	m := newMeter()
 	u := &uscan{
 		q:            q,
 		cfg:          cfg,
 		model:        model,
 		legs:         legs,
 		st:           st,
-		m:            meter{pool: q.Table.Pool()},
-		list:         rid.NewContainer(q.Table.Pool(), cfg.RID),
+		m:            m,
+		list:         rid.NewContainerTracked(q.Table.Pool(), cfg.RID, m.tr),
 		borrow:       borrow,
 		borrowActive: borrow != nil,
 	}
@@ -191,76 +193,73 @@ func (u *uscan) step() (bool, error) {
 	if u.done {
 		return true, nil
 	}
-	err := u.m.measure(func() error {
-		if u.cur == nil {
-			if u.idx >= len(u.legs) {
-				u.finish()
-				return nil
-			}
-			leg := u.legs[u.idx]
-			cur, err := leg.Index.Tree.Seek(leg.Lo, leg.Hi)
-			if err != nil {
-				return err
-			}
-			u.cur = cur
-			u.names = append(u.names, leg.Index.Name)
-			tracef(u.st, "uscan: leg %d/%d scanning %s (est %.0f rids)", u.idx+1, len(u.legs), leg.Index.Name, leg.Est)
+	if u.cur == nil {
+		if u.idx >= len(u.legs) {
+			u.finish()
+			return u.done, nil
 		}
 		leg := u.legs[u.idx]
-		for i := 0; i < u.cfg.StepEntries; i++ {
-			key, r, ok, err := u.cur.Next()
+		cur, err := leg.Index.Tree.SeekTracked(leg.Lo, leg.Hi, u.m.tr)
+		if err != nil {
+			return u.done, err
+		}
+		u.cur = cur
+		u.names = append(u.names, leg.Index.Name)
+		tracef(u.st, "uscan: leg %d/%d scanning %s (est %.0f rids)", u.idx+1, len(u.legs), leg.Index.Name, leg.Est)
+	}
+	leg := u.legs[u.idx]
+	for i := 0; i < u.cfg.StepEntries; i++ {
+		key, r, ok, err := u.cur.Next()
+		if err != nil {
+			return u.done, err
+		}
+		if !ok {
+			u.cur = nil
+			u.idx++
+			if u.idx >= len(u.legs) {
+				u.finish()
+			}
+			return u.done, nil
+		}
+		u.seen++
+		if leg.Local != nil {
+			row, err := leg.Index.DecodeEntry(key)
 			if err != nil {
-				return err
+				return u.done, err
 			}
-			if !ok {
-				u.cur = nil
-				u.idx++
-				if u.idx >= len(u.legs) {
-					u.finish()
-				}
-				return nil
+			keep, err := expr.EvalPred(leg.Local, row, u.q.Binds)
+			if err != nil {
+				return u.done, err
 			}
-			u.seen++
-			if leg.Local != nil {
-				row, err := leg.Index.DecodeEntry(key)
-				if err != nil {
-					return err
-				}
-				keep, err := expr.EvalPred(leg.Local, row, u.q.Binds)
-				if err != nil {
-					return err
-				}
-				if !keep {
-					continue
-				}
-			}
-			if err := u.list.Append(r); err != nil {
-				return err
-			}
-			if u.borrowActive {
-				u.borrow.push(r)
+			if !keep {
+				continue
 			}
 		}
-		// Two-stage competition: project the final union size; the
-		// guaranteed best is always Tscan (no intersection can improve
-		// a union mid-flight).
-		if !u.cfg.DisableCompetition && u.seen >= u.cfg.StepEntries {
-			frac := float64(u.seen) / u.totalEst
-			if frac > 1 {
-				frac = 1
-			}
-			proj := float64(u.list.Len()) / frac
-			projFinal := u.model.JscanFinalCost(proj)
-			scanCost := float64(u.m.total())
-			if u.cfg.Criterion.Abandon(projFinal, scanCost, u.model.TscanCost()) {
-				tracef(u.st, "uscan: abandoning union (proj final %.0f, scan cost %.0f, Tscan %.0f)",
-					projFinal, scanCost, u.model.TscanCost())
-				u.abandon()
-			}
+		if err := u.list.Append(r); err != nil {
+			return u.done, err
 		}
-		return nil
-	})
-	return u.done, err
+		if u.borrowActive {
+			u.borrow.push(r)
+		}
+	}
+	// Two-stage competition: project the final union size; the
+	// guaranteed best is always Tscan (no intersection can improve
+	// a union mid-flight).
+	if !u.cfg.DisableCompetition && u.seen >= u.cfg.StepEntries {
+		frac := float64(u.seen) / u.totalEst
+		if frac > 1 {
+			frac = 1
+		}
+		proj := float64(u.list.Len()) / frac
+		projFinal := u.model.JscanFinalCost(proj)
+		scanCost := float64(u.m.total())
+		if u.cfg.Criterion.Abandon(projFinal, scanCost, u.model.TscanCost()) {
+			tracef(u.st, "uscan: abandoning union (proj final %.0f, scan cost %.0f, Tscan %.0f)",
+				projFinal, scanCost, u.model.TscanCost())
+			u.abandon()
+		}
+	}
+	return u.done, nil
 }
 
 func (u *uscan) finish() {

@@ -1,7 +1,6 @@
 // Package engine is the public façade of the reproduction: an embedded
-// single-user database with the paper's dynamic single-table optimizer
-// as its executor, plus the traditional static optimizer as a frozen
-// baseline.
+// database with the paper's dynamic single-table optimizer as its
+// executor, plus the traditional static optimizer as a frozen baseline.
 //
 // Typical use:
 //
@@ -18,6 +17,15 @@
 // Every Stmt.Query run re-optimizes dynamically with the current
 // bindings; Stmt.Freeze produces the static baseline that keeps one
 // plan forever.
+//
+// A DB and its prepared Stmts are safe for concurrent use: any number
+// of goroutines may call Stmt.Query / DB.Query at once (each call gets
+// its own Result, which is itself single-goroutine), and writes
+// serialize per table. Per-query I/O attribution stays exact under
+// concurrency because every scan charges a private storage.Tracker
+// rather than differencing the shared pool's global counters. A
+// retrieval must not overlap a mutation of the same table; scheduling
+// that is the application's job.
 package engine
 
 import (
@@ -39,6 +47,12 @@ type Options struct {
 	// make random fetches genuinely expensive, as on the paper's
 	// hardware.
 	PoolFrames int
+	// PoolShards partitions the buffer pool into this many
+	// independently-locked shards (rounded up to a power of two) to cut
+	// lock contention under parallel query load. 0 keeps the default:
+	// one shard for bounded pools (exact global LRU, so simulated I/O
+	// costs are reproducible), one shard per CPU for unbounded pools.
+	PoolShards int
 	// Optimizer tunes the dynamic optimizer (zero value = defaults).
 	Optimizer core.Config
 }
@@ -54,7 +68,12 @@ type DB struct {
 // Open creates an empty database.
 func Open(opts Options) *DB {
 	disk := storage.NewDisk(opts.PageSize)
-	pool := storage.NewBufferPool(disk, opts.PoolFrames)
+	var pool *storage.BufferPool
+	if opts.PoolShards > 0 {
+		pool = storage.NewBufferPoolSharded(disk, opts.PoolFrames, opts.PoolShards)
+	} else {
+		pool = storage.NewBufferPool(disk, opts.PoolFrames)
+	}
 	cfg := opts.Optimizer
 	if cfg.StepEntries == 0 {
 		cfg = core.DefaultConfig()

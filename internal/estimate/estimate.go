@@ -22,6 +22,7 @@ import (
 
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
 )
 
 // IndexEstimate is the initial-stage appraisal of one index.
@@ -126,15 +127,16 @@ func appraiseOne(ix *catalog.Index, restriction expr.Expr, binds expr.Bindings) 
 		e.Empty = true
 		return e, nil
 	}
-	pool := ix.Table.Pool()
-	before := pool.Stats().IOCost()
 	// The refined edge-descent estimator: leaf-exact at the range
-	// boundaries, extrapolated occupancy in the interior.
-	rids, exact, err := ix.Tree.EstimateRangeRefined(e.Lo, e.Hi)
+	// boundaries, extrapolated occupancy in the interior. A private
+	// tracker attributes the descent's I/O to this appraisal even while
+	// other queries drive the shared pool.
+	tr := new(storage.Tracker)
+	rids, exact, err := ix.Tree.EstimateRangeRefinedTracked(e.Lo, e.Hi, tr)
 	if err != nil {
 		return e, err
 	}
-	e.EstimateCost = pool.Stats().IOCost() - before
+	e.EstimateCost = tr.IOCost()
 	e.RIDs = rids
 	e.Exact = exact
 	if e.Exact && e.RIDs == 0 {

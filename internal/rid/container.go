@@ -41,6 +41,7 @@ func (c Config) withDefaults() Config {
 type Container struct {
 	cfg  Config
 	pool *storage.BufferPool
+	tr   *storage.Tracker // charged for spill and read-back I/O
 
 	small     [20]storage.RID // static region (cfg.SmallCap <= 20 uses a prefix)
 	mem       []storage.RID   // allocated region; nil while in static region
@@ -54,11 +55,18 @@ type Container struct {
 // NewContainer creates an empty hybrid container drawing temp-table
 // pages from pool.
 func NewContainer(pool *storage.BufferPool, cfg Config) *Container {
+	return NewContainerTracked(pool, cfg, nil)
+}
+
+// NewContainerTracked is NewContainer charging spill writes and
+// read-back page I/O to tr, so a scan's temp-table traffic is
+// attributed to the scan that owns the container.
+func NewContainerTracked(pool *storage.BufferPool, cfg Config, tr *storage.Tracker) *Container {
 	cfg = cfg.withDefaults()
 	if cfg.SmallCap > len((&Container{}).small) {
 		cfg.SmallCap = len((&Container{}).small)
 	}
-	return &Container{cfg: cfg, pool: pool}
+	return &Container{cfg: cfg, pool: pool, tr: tr}
 }
 
 // Len returns the number of RIDs appended.
@@ -108,7 +116,7 @@ func (c *Container) Append(r storage.RID) error {
 		}
 		c.bitmap.Add(r)
 		if !c.cfg.FilterOnly {
-			c.spill = newTempTable(c.pool)
+			c.spill = newTempTable(c.pool, c.tr)
 			if err := c.spill.append(r); err != nil {
 				return err
 			}

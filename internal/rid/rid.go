@@ -122,12 +122,13 @@ func (b *Bitmap) SizeBytes() int { return len(b.bits) * 8 }
 type tempTable struct {
 	heap *storage.HeapFile
 	pool *storage.BufferPool
+	tr   *storage.Tracker // charged for spill writes and read-back
 }
 
 const ridRecBytes = 10 // file(4) + page(4) + slot(2)
 
-func newTempTable(pool *storage.BufferPool) *tempTable {
-	return &tempTable{heap: storage.NewHeapFile(pool), pool: pool}
+func newTempTable(pool *storage.BufferPool, tr *storage.Tracker) *tempTable {
+	return &tempTable{heap: storage.NewHeapFile(pool), pool: pool, tr: tr}
 }
 
 func (t *tempTable) append(r storage.RID) error {
@@ -135,14 +136,14 @@ func (t *tempTable) append(r storage.RID) error {
 	binary.BigEndian.PutUint32(rec[0:4], uint32(r.Page.File))
 	binary.BigEndian.PutUint32(rec[4:8], uint32(r.Page.No))
 	binary.BigEndian.PutUint16(rec[8:10], r.Slot)
-	_, err := t.heap.Insert(rec[:])
+	_, err := t.heap.InsertTracked(rec[:], t.tr)
 	return err
 }
 
 // readAll streams every spilled RID back, charging page reads as the
 // pages are revisited.
 func (t *tempTable) readAll(visit func(storage.RID) error) error {
-	c := t.heap.Cursor()
+	c := t.heap.CursorTracked(t.tr)
 	for {
 		rec, _, ok, err := c.Next()
 		if err != nil {

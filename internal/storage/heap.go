@@ -1,16 +1,22 @@
 package storage
 
+import "sync/atomic"
+
 // HeapFile stores table records in page-append order. It remembers the
 // last page with free space so bulk loads fill pages densely; there is
 // no free-space map, matching the simple heap organization the paper's
 // Tscan and record-fetch costs assume.
+//
+// Mutating methods (Insert, Delete) must be serialized by the caller —
+// the catalog serializes them per table. Read paths (Get, Cursor) are
+// safe to run concurrently with each other.
 type HeapFile struct {
 	pool *BufferPool
 	file FileID
 	// lastPage caches the page currently receiving inserts.
 	lastPage PageNo
 	havePage bool
-	count    int64
+	count    atomic.Int64
 }
 
 // NewHeapFile creates a heap file on a fresh disk file.
@@ -25,25 +31,30 @@ func (h *HeapFile) File() FileID { return h.file }
 func (h *HeapFile) NumPages() int { return h.pool.Disk().NumPages(h.file) }
 
 // Count returns the number of live records inserted (minus deletions).
-func (h *HeapFile) Count() int64 { return h.count }
+func (h *HeapFile) Count() int64 { return h.count.Load() }
 
 // Insert appends rec and returns its RID.
-func (h *HeapFile) Insert(rec []byte) (RID, error) {
+func (h *HeapFile) Insert(rec []byte) (RID, error) { return h.InsertTracked(rec, nil) }
+
+// InsertTracked is Insert charging buffer-pool traffic to tr.
+func (h *HeapFile) InsertTracked(rec []byte, tr *Tracker) (RID, error) {
 	if h.havePage {
 		id := PageID{File: h.file, No: h.lastPage}
-		p, err := h.pool.Get(id)
+		p, err := h.pool.GetTracked(id, tr)
 		if err != nil {
 			return RID{}, err
 		}
+		// Mark dirty only on success: a full page probed and left alone
+		// must not be charged a write-back.
 		if slot, err := p.Insert(rec); err == nil {
 			h.pool.MarkDirty(id)
-			h.count++
+			h.count.Add(1)
 			return RID{Page: id, Slot: slot}, nil
 		} else if err != ErrPageFull {
 			return RID{}, err
 		}
 	}
-	p, err := h.pool.NewPage(h.file)
+	p, err := h.pool.NewPageTracked(h.file, tr)
 	if err != nil {
 		return RID{}, err
 	}
@@ -53,13 +64,16 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	}
 	h.lastPage = p.ID.No
 	h.havePage = true
-	h.count++
+	h.count.Add(1)
 	return RID{Page: p.ID, Slot: slot}, nil
 }
 
 // Get fetches the record at rid through the buffer pool.
-func (h *HeapFile) Get(rid RID) ([]byte, error) {
-	p, err := h.pool.Get(rid.Page)
+func (h *HeapFile) Get(rid RID) ([]byte, error) { return h.GetTracked(rid, nil) }
+
+// GetTracked is Get charging the page fetch to tr.
+func (h *HeapFile) GetTracked(rid RID, tr *Tracker) ([]byte, error) {
+	p, err := h.pool.GetTracked(rid.Page, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +89,7 @@ func (h *HeapFile) Delete(rid RID) error {
 	if err := p.Delete(rid.Slot); err != nil {
 		return err
 	}
-	h.count--
+	h.count.Add(-1)
 	return nil
 }
 
@@ -85,12 +99,18 @@ func (h *HeapFile) Cursor() *HeapCursor {
 	return &HeapCursor{heap: h, page: 0, slot: -1}
 }
 
+// CursorTracked is Cursor charging every page fetch to tr.
+func (h *HeapFile) CursorTracked(tr *Tracker) *HeapCursor {
+	return &HeapCursor{heap: h, page: 0, slot: -1, tr: tr}
+}
+
 // HeapCursor iterates records in physical (page, slot) order.
 type HeapCursor struct {
 	heap *HeapFile
 	page PageNo
 	slot int
 	cur  *Page
+	tr   *Tracker
 }
 
 // Next advances to the next live record. It returns the record, its
@@ -99,7 +119,7 @@ func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
 	n := PageNo(c.heap.NumPages())
 	for c.page < n {
 		if c.cur == nil || c.cur.ID.No != c.page {
-			p, err := c.heap.pool.Get(PageID{File: c.heap.file, No: c.page})
+			p, err := c.heap.pool.GetTracked(PageID{File: c.heap.file, No: c.page}, c.tr)
 			if err != nil {
 				return nil, RID{}, false, err
 			}

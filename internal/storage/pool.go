@@ -2,7 +2,9 @@ package storage
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool caches pages in memory with LRU replacement and charges
@@ -14,13 +16,38 @@ import (
 // of the paper observes that caching makes per-query cost unpredictable
 // because unrelated queries shuffle the cache; the experiments reproduce
 // that by sharing one pool between interleaved retrievals.
+//
+// The pool is sharded for concurrency: pages hash onto N independent
+// shards (N a power of two), each with its own mutex, LRU list, and
+// frame map, so unrelated page touches from concurrent queries never
+// contend. The global Reads/Writes/Hits counters are atomics, so Stats
+// never takes a lock.
+//
+// Sharding and cost fidelity: an unbounded pool behaves identically at
+// any shard count (hits and misses depend only on residency, and nothing
+// is ever evicted), so unbounded pools shard automatically. A bounded
+// pool's per-shard LRU is only an approximation of the global LRU the
+// experiments' cost model assumes, so bounded pools default to a single
+// shard — exact global LRU — unless the caller opts into sharding with
+// NewBufferPoolSharded (as the parallel throughput benchmarks do).
 type BufferPool struct {
-	mu       sync.Mutex
 	disk     *Disk
 	capacity int
-	stats    IOStats
-	frames   map[PageID]*list.Element // -> *frame in lru
-	lru      *list.List               // front = most recently used
+
+	reads  atomic.Int64
+	writes atomic.Int64
+	hits   atomic.Int64
+
+	mask   uint64
+	shards []poolShard
+}
+
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int // frame budget of this shard (<= 0 = unbounded)
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	_        [40]byte   // pad to a cache line to avoid false sharing
 }
 
 type frame struct {
@@ -30,83 +57,168 @@ type frame struct {
 
 // NewBufferPool creates a pool over disk holding at most capacity pages.
 // A capacity <= 0 means effectively unbounded (everything stays hot
-// after first touch).
+// after first touch). Unbounded pools are sharded to the number of CPUs;
+// bounded pools keep one shard (exact global LRU) — use
+// NewBufferPoolSharded to shard a bounded pool.
 func NewBufferPool(disk *Disk, capacity int) *BufferPool {
-	return &BufferPool{
+	shards := 1
+	if capacity <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return NewBufferPoolSharded(disk, capacity, shards)
+}
+
+// NewBufferPoolSharded creates a pool with an explicit shard count. The
+// count is rounded up to a power of two, and for bounded pools clamped
+// so every shard holds at least one frame; the capacity is split across
+// shards. Bounded sharded pools approximate global LRU per shard, which
+// can change eviction order versus a single-shard pool of the same
+// capacity.
+func NewBufferPoolSharded(disk *Disk, capacity, shards int) *BufferPool {
+	n := nextPow2(shards)
+	if capacity > 0 && n > capacity {
+		n = nextPow2(capacity)
+		if n > capacity {
+			n /= 2
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	bp := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
-		frames:   make(map[PageID]*list.Element),
-		lru:      list.New(),
+		mask:     uint64(n - 1),
+		shards:   make([]poolShard, n),
 	}
+	base, rem := 0, 0
+	if capacity > 0 {
+		base, rem = capacity/n, capacity%n
+	}
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.capacity = 0
+		if capacity > 0 {
+			s.capacity = base
+			if i < rem {
+				s.capacity++
+			}
+		}
+		s.frames = make(map[PageID]*list.Element)
+		s.lru = list.New()
+	}
+	return bp
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// shard maps a page ID onto its shard (fibonacci hashing of file+page).
+func (bp *BufferPool) shard(id PageID) *poolShard {
+	h := (uint64(id.File)<<32 | uint64(id.No)) * 0x9E3779B97F4A7C15
+	return &bp.shards[(h>>32)&bp.mask]
 }
 
 // Disk returns the underlying disk.
 func (bp *BufferPool) Disk() *Disk { return bp.disk }
 
-// Capacity returns the pool's frame capacity (<= 0 = unbounded).
+// Capacity returns the pool's total frame capacity (<= 0 = unbounded).
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
-// Stats returns a snapshot of the I/O counters.
+// Shards returns the number of shards.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
+// Stats returns a snapshot of the I/O counters. It is lock-free.
 func (bp *BufferPool) Stats() IOStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return IOStats{
+		Reads:  bp.reads.Load(),
+		Writes: bp.writes.Load(),
+		Hits:   bp.hits.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters. Experiments call this between runs.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = IOStats{}
+	bp.reads.Store(0)
+	bp.writes.Store(0)
+	bp.hits.Store(0)
 }
 
 // Get returns the page with the given ID, charging one read on a miss.
-func (bp *BufferPool) Get(id PageID) (*Page, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
-		bp.lru.MoveToFront(el)
-		return el.Value.(*frame).page, nil
+func (bp *BufferPool) Get(id PageID) (*Page, error) { return bp.GetTracked(id, nil) }
+
+// GetTracked is Get, additionally charging the hit/miss (and any
+// eviction write-back it triggers) to tr. A nil tracker charges only the
+// global counters.
+func (bp *BufferPool) GetTracked(id PageID, tr *Tracker) (*Page, error) {
+	return bp.get(id, tr, false)
+}
+
+// GetDirty is Get plus MarkDirty under one shard-lock acquisition, so a
+// concurrent eviction can never slip between the fetch and the mark.
+func (bp *BufferPool) GetDirty(id PageID) (*Page, error) { return bp.GetDirtyTracked(id, nil) }
+
+// GetDirtyTracked is GetDirty charging tr.
+func (bp *BufferPool) GetDirtyTracked(id PageID, tr *Tracker) (*Page, error) {
+	return bp.get(id, tr, true)
+}
+
+func (bp *BufferPool) get(id PageID, tr *Tracker, dirty bool) (*Page, error) {
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.frames[id]; ok {
+		bp.hits.Add(1)
+		tr.hit()
+		s.lru.MoveToFront(el)
+		f := el.Value.(*frame)
+		if dirty {
+			f.dirty = true
+		}
+		return f.page, nil
 	}
 	p, err := bp.disk.read(id)
 	if err != nil {
 		return nil, err
 	}
-	bp.stats.Reads++
-	bp.admit(p, false)
-	return p, nil
-}
-
-// GetDirty is Get plus MarkDirty in one call.
-func (bp *BufferPool) GetDirty(id PageID) (*Page, error) {
-	p, err := bp.Get(id)
-	if err != nil {
-		return nil, err
-	}
-	bp.MarkDirty(id)
+	bp.reads.Add(1)
+	tr.read()
+	bp.admit(s, p, dirty, tr)
 	return p, nil
 }
 
 // NewPage allocates a fresh page in the file and admits it to the pool
 // as dirty. Allocation is free; the eventual write-back is charged.
-func (bp *BufferPool) NewPage(file FileID) (*Page, error) {
+func (bp *BufferPool) NewPage(file FileID) (*Page, error) { return bp.NewPageTracked(file, nil) }
+
+// NewPageTracked is NewPage charging any eviction write-back to tr.
+func (bp *BufferPool) NewPageTracked(file FileID, tr *Tracker) (*Page, error) {
 	p, err := bp.disk.AllocPage(file)
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.admit(p, true)
+	s := bp.shard(p.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bp.admit(s, p, true, tr)
 	return p, nil
 }
 
 // MarkDirty records that the page has been modified, so its eviction or
 // flush will cost one write.
 func (bp *BufferPool) MarkDirty(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.frames[id]; ok {
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.frames[id]; ok {
 		el.Value.(*frame).dirty = true
 	}
 }
@@ -115,63 +227,76 @@ func (bp *BufferPool) MarkDirty(id PageID) {
 // use it to predict whether a fetch would be a hit without paying for
 // the fetch.
 func (bp *BufferPool) Contains(id PageID) bool {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	_, ok := bp.frames[id]
+	s := bp.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.frames[id]
 	return ok
 }
 
 // FlushAll writes back every dirty page, charging one write apiece, and
 // leaves the pages resident and clean.
 func (bp *BufferPool) FlushAll() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if f.dirty {
-			bp.stats.Writes++
-			f.dirty = false
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			f := el.Value.(*frame)
+			if f.dirty {
+				bp.writes.Add(1)
+				f.dirty = false
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // EvictAll empties the pool (writing back dirty pages) so the next run
 // starts cold. Experiments call this between measured runs.
 func (bp *BufferPool) EvictAll() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		if f := el.Value.(*frame); f.dirty {
-			bp.stats.Writes++
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if f := el.Value.(*frame); f.dirty {
+				bp.writes.Add(1)
+			}
 		}
+		s.frames = make(map[PageID]*list.Element)
+		s.lru.Init()
+		s.mu.Unlock()
 	}
-	bp.frames = make(map[PageID]*list.Element)
-	bp.lru.Init()
 }
 
 // Resident returns the number of pages currently cached.
 func (bp *BufferPool) Resident() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.lru.Len()
+	total := 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		total += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// admit inserts page p, evicting the LRU victim if at capacity.
-// Caller holds bp.mu.
-func (bp *BufferPool) admit(p *Page, dirty bool) {
-	if bp.capacity > 0 {
-		for bp.lru.Len() >= bp.capacity {
-			victim := bp.lru.Back()
+// admit inserts page p into shard s, evicting the shard's LRU victim if
+// at capacity. Caller holds s.mu.
+func (bp *BufferPool) admit(s *poolShard, p *Page, dirty bool, tr *Tracker) {
+	if s.capacity > 0 {
+		for s.lru.Len() >= s.capacity {
+			victim := s.lru.Back()
 			if victim == nil {
 				break
 			}
 			f := victim.Value.(*frame)
 			if f.dirty {
-				bp.stats.Writes++
+				bp.writes.Add(1)
+				tr.write()
 			}
-			delete(bp.frames, f.page.ID)
-			bp.lru.Remove(victim)
+			delete(s.frames, f.page.ID)
+			s.lru.Remove(victim)
 		}
 	}
-	bp.frames[p.ID] = bp.lru.PushFront(&frame{page: p, dirty: dirty})
+	s.frames[p.ID] = s.lru.PushFront(&frame{page: p, dirty: dirty})
 }

@@ -7,14 +7,19 @@
 // dynamic optimizer described in the paper reasons about retrieval cost in
 // units of page I/Os; here every buffer-pool miss counts as one simulated
 // read and every dirty-page eviction or explicit flush counts as one
-// simulated write. Operators attribute costs to themselves by snapshotting
-// IOStats before and after each execution step (execution is cooperative
-// and single-threaded within a query, so the attribution is exact).
+// simulated write. Operators attribute costs to themselves by passing a
+// per-query Tracker down through the tracked pool accessors (GetTracked,
+// GetDirtyTracked, NewPageTracked); the pool charges each hit, miss, and
+// eviction write-back to both the global atomic counters and the tracker,
+// so attribution stays exact even while many queries run concurrently.
+// The pool itself is sharded (see BufferPool) so unrelated page touches
+// do not contend on one mutex.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the byte budget of a page when a Disk is created
@@ -70,10 +75,12 @@ func (r RID) Less(o RID) bool {
 	return r.Slot < o.Slot
 }
 
-// Key packs the RID into an integer that preserves Less order for RIDs
-// of the same file. It is the hash input for bitmap filters.
+// Key packs the RID into an integer that preserves Less order for file
+// IDs below 2^16. It is the hash input for bitmap filters; the file ID
+// is mixed in so RIDs in different files with the same page and slot do
+// not collide.
 func (r RID) Key() uint64 {
-	return uint64(r.Page.No)<<16 | uint64(r.Slot)
+	return uint64(r.Page.File)<<48 | uint64(r.Page.No)<<16 | uint64(r.Slot)
 }
 
 // Compare returns -1, 0, or +1 ordering r against o.
@@ -113,4 +120,64 @@ func (s IOStats) Add(o IOStats) IOStats {
 
 func (s IOStats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d hits=%d", s.Reads, s.Writes, s.Hits)
+}
+
+// Tracker accumulates the I/O charged to one consumer — typically one
+// scan leg of one query. The tracked BufferPool accessors charge it in
+// addition to the pool's global counters, which keeps per-step cost
+// attribution exact while other queries hammer the same pool (the
+// global-delta snapshot trick the engine used before is wrong under
+// concurrency).
+//
+// All methods are safe for concurrent use, and all are safe on a nil
+// receiver (a nil tracker charges nothing), so untracked call sites pay
+// only a nil check.
+type Tracker struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	hits   atomic.Int64
+}
+
+func (t *Tracker) read() {
+	if t != nil {
+		t.reads.Add(1)
+	}
+}
+
+func (t *Tracker) write() {
+	if t != nil {
+		t.writes.Add(1)
+	}
+}
+
+func (t *Tracker) hit() {
+	if t != nil {
+		t.hits.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the tracker's counters.
+func (t *Tracker) Stats() IOStats {
+	if t == nil {
+		return IOStats{}
+	}
+	return IOStats{Reads: t.reads.Load(), Writes: t.writes.Load(), Hits: t.hits.Load()}
+}
+
+// IOCost returns reads+writes charged so far — the paper's cost unit.
+func (t *Tracker) IOCost() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reads.Load() + t.writes.Load()
+}
+
+// Reset zeroes the tracker.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.reads.Store(0)
+	t.writes.Store(0)
+	t.hits.Store(0)
 }
