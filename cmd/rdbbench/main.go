@@ -41,7 +41,16 @@ func main() {
 		if err := os.WriteFile("BENCH_parallel.json", out, 0o644); err != nil {
 			fail(err)
 		}
+		metrics, err := json.MarshalIndent(res.Metrics, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		metrics = append(metrics, '\n')
+		if err := os.WriteFile("BENCH_metrics.json", metrics, 0o644); err != nil {
+			fail(err)
+		}
 		os.Stdout.Write(out)
+		os.Stdout.Write(metrics)
 		return
 	}
 

@@ -64,7 +64,10 @@ func main() {
   \set NAME VALUE   bind a host variable (integer or 'string')
   \binds            show current bindings
   \stats            show the last statement's tactic, strategy, I/O, trace
-  \quit             exit`)
+  \metrics          show cumulative optimizer metrics (tactic wins, switches, estimate error)
+  \quit             exit
+EXPLAIN <select> describes the plan; EXPLAIN ANALYZE <select> executes it
+and reports the typed competition events alongside.`)
 		case line == `\binds`:
 			for k, v := range binds {
 				fmt.Printf("  :%s = %v\n", k, v)
@@ -75,6 +78,8 @@ func main() {
 				continue
 			}
 			printStats(*lastStats)
+		case line == `\metrics`:
+			printMetrics(db.Metrics())
 		case strings.HasPrefix(line, `\set `):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {
@@ -157,5 +162,30 @@ func printStats(st core.RetrievalStats) {
 		st.RowsDelivered, st.FgRows, st.FinalListLen)
 	for _, tr := range st.Trace {
 		fmt.Println("  *", tr)
+	}
+}
+
+func printMetrics(m core.MetricsSnapshot) {
+	fmt.Printf("queries:           %d\n", m.Queries)
+	fmt.Printf("empty ranges:      %d\n", m.EmptyRanges)
+	fmt.Printf("scan abandonments: %d\n", m.ScanAbandonments)
+	fmt.Printf("strategy switches: %d\n", m.StrategySwitches)
+	fmt.Printf("races resolved:    %d\n", m.RacesResolved)
+	fmt.Printf("borrow overflows:  %d\n", m.BorrowOverflows)
+	if len(m.TacticWins) > 0 {
+		fmt.Println("tactic wins:")
+		for _, tactic := range []string{"tscan", "sscan", "fscan", "background-only", "fast-first", "sorted", "index-only"} {
+			if n := m.TacticWins[tactic]; n > 0 {
+				fmt.Printf("  %-16s %d\n", tactic, n)
+			}
+		}
+	}
+	if len(m.EstimateErrorLog) > 0 {
+		fmt.Println("estimate error (predicted/actual):")
+		for _, bucket := range []string{"<=1/8x", "1/4x", "1/2x", "~1x", "2x", "4x", ">=8x"} {
+			if n := m.EstimateErrorLog[bucket]; n > 0 {
+				fmt.Printf("  %-8s %d\n", bucket, n)
+			}
+		}
 	}
 }

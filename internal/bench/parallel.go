@@ -6,12 +6,15 @@ import (
 	"time"
 
 	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
 	"rdbdyn/internal/engine"
 	"rdbdyn/internal/expr"
 )
 
 // ParallelResult is the JSON shape of BENCH_parallel.json: end-to-end
-// query throughput of one shared engine under a fixed goroutine count.
+// query throughput of one shared engine under a fixed goroutine count,
+// plus the optimizer's cumulative competition metrics for the run
+// (written separately as BENCH_metrics.json).
 type ParallelResult struct {
 	Goroutines    int     `json:"goroutines"`
 	Shards        int     `json:"shards"`
@@ -20,6 +23,8 @@ type ParallelResult struct {
 	Seconds       float64 `json:"seconds"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	TotalIOs      int64   `json:"total_ios"`
+
+	Metrics core.MetricsSnapshot `json:"-"`
 }
 
 // RunParallel loads a table and drives point queries from the given
@@ -101,5 +106,6 @@ func RunParallel(goroutines, queries, rows int) (*ParallelResult, error) {
 		Seconds:       elapsed.Seconds(),
 		QueriesPerSec: float64(queries) / elapsed.Seconds(),
 		TotalIOs:      delta.IOCost(),
+		Metrics:       db.Metrics(),
 	}, nil
 }

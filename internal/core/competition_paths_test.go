@@ -73,9 +73,12 @@ func TestIndexOnlyJscanWinsAndSscanIsAbandoned(t *testing.T) {
 	if st.Tactic != "index-only" {
 		t.Fatalf("tactic = %s (trace %v)", st.Tactic, st.Trace)
 	}
+	if !hasEvent(st, EvRaceResolved, "") {
+		t.Fatalf("expected a race-resolved event; trace: %v", st.Trace)
+	}
 	abandoned := false
-	for _, tr := range st.Trace {
-		if strings.Contains(tr, "abandoning Sscan") {
+	for _, ev := range st.Events {
+		if ev.Kind == EvScanAbandoned && strings.Contains(ev.Scan, "Sscan") {
 			abandoned = true
 		}
 	}
@@ -106,14 +109,8 @@ func TestJscanMidScanAbandonment(t *testing.T) {
 	got := drain(t, rows)
 	sameMultiset(t, got, f.naive(t, q), "mid-scan abandonment")
 	st := rows.Stats()
-	abandoned := false
-	for _, tr := range st.Trace {
-		if strings.Contains(tr, "abandoning IX_A") {
-			abandoned = true
-		}
-	}
-	if !abandoned {
-		t.Fatalf("expected mid-scan abandonment; trace: %v", st.Trace)
+	if !hasEvent(st, EvScanAbandoned, "IX_A") {
+		t.Fatalf("expected mid-scan abandonment of IX_A; trace: %v", st.Trace)
 	}
 	if !strings.Contains(st.Strategy, "Tscan") {
 		t.Fatalf("strategy %q should have switched to Tscan", st.Strategy)

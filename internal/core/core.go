@@ -25,7 +25,7 @@
 package core
 
 import (
-	"fmt"
+	"sync/atomic"
 
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/competition"
@@ -142,6 +142,11 @@ type Classification struct {
 	// FetchNeeded are indexes whose leading column carries a sargable
 	// restriction but which cannot deliver the result alone.
 	FetchNeeded []*catalog.Index
+	// EmptyRange reports that some index's sargable conjuncts
+	// contradict each other under the current bindings. Since the
+	// restriction is a conjunction, the whole query matches nothing and
+	// the retrieval can deliver end-of-data at once.
+	EmptyRange bool
 }
 
 // Classify computes the classification under the query's bindings. Only
@@ -152,7 +157,10 @@ func Classify(q *Query) Classification {
 	var cl Classification
 	needed := q.neededColumns()
 	for _, ix := range q.Table.Indexes {
-		lo, hi, n, _ := ix.RestrictionBounds(q.Restriction, q.Binds)
+		lo, hi, n, empty := ix.RestrictionBounds(q.Restriction, q.Binds)
+		if empty && n > 0 {
+			cl.EmptyRange = true
+		}
 		restricted := n > 0 && (lo != nil || hi != nil)
 		covers := ix.Covers(needed)
 		ordered := len(q.OrderBy) > 0 && ix.DeliversOrder(q.OrderBy)
@@ -177,13 +185,15 @@ type Config struct {
 	RID rid.Config
 	// FgBufferCap bounds the foreground delivered-RID buffer; overflow
 	// terminates the foreground in favor of the background (Section 7).
+	// 0 means the default; a negative value means unbounded.
 	FgBufferCap int
 	// StepEntries is how many index entries one Jscan/Sscan step
 	// processes; Tscan and Fscan steps are one page / a few fetches.
 	StepEntries int
 	// RaceFactor: two adjacent Jscan indexes whose estimates are
 	// within this factor are scanned simultaneously to resolve their
-	// true order (Section 6's limited reordering). 0 disables racing.
+	// true order (Section 6's limited reordering). 0 means the
+	// default; a negative value disables racing.
 	RaceFactor float64
 	// StaticThresholds switches Jscan to the [MoHa90] baseline: the
 	// abandonment thresholds are frozen from the initial estimates and
@@ -197,6 +207,10 @@ type Config struct {
 	// PreviousOrder carries the index order the previous run of the
 	// same query found optimal.
 	PreviousOrder []string
+	// Trace, when set, receives every retrieval's TraceEvents as they
+	// are emitted. The sink must be safe for concurrent use (see
+	// TraceSink) and adds no simulated I/O.
+	Trace TraceSink
 }
 
 // DefaultConfig returns the paper's settings.
@@ -211,8 +225,46 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithDefaults returns the config with every zero-valued field replaced
+// by its DefaultConfig value, field by field, so a caller setting a
+// single knob keeps the paper's defaults for everything else.
+//
+// Numeric fields where "off" is a sensible request use negative values
+// for it (RaceFactor < 0 disables racing, FgBufferCap < 0 is
+// unbounded); 0 always means "use the default". Boolean fields
+// (StaticThresholds, DisableCompetition) need no sentinel: false is the
+// paper's behaviour, so the zero value is already the default.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.Criterion == (competition.SwitchCriterion{}) {
+		c.Criterion = d.Criterion
+	}
+	if c.RID.SmallCap == 0 {
+		c.RID.SmallCap = d.RID.SmallCap
+	}
+	if c.RID.MemBudget == 0 {
+		c.RID.MemBudget = d.RID.MemBudget
+	}
+	if c.FgBufferCap == 0 {
+		c.FgBufferCap = d.FgBufferCap
+	}
+	if c.StepEntries <= 0 {
+		c.StepEntries = d.StepEntries
+	}
+	if c.RaceFactor == 0 {
+		c.RaceFactor = d.RaceFactor
+	}
+	if c.ShortRange == 0 {
+		c.ShortRange = d.ShortRange
+	}
+	return c
+}
+
 // RetrievalStats describes what a retrieval did.
 type RetrievalStats struct {
+	// QueryID identifies this retrieval process-wide; every TraceEvent
+	// of the retrieval carries it.
+	QueryID uint64
 	// Tactic names the arrangement chosen at start-retrieval time.
 	Tactic string
 	// Strategy describes the scans actually used, e.g.
@@ -229,7 +281,10 @@ type RetrievalStats struct {
 	// FinalListLen is the length of the background's final RID list
 	// (-1 when the background did not complete).
 	FinalListLen int
-	// Trace records competition decisions in order.
+	// Events records the competition decisions in order, typed.
+	Events []TraceEvent
+	// Trace holds the human-readable renderings of Events, in the same
+	// order.
 	Trace []string
 	// WinningOrder is the index order that won, for reuse as
 	// PreviousOrder on the next run.
@@ -277,6 +332,7 @@ func (q *Query) project(row expr.Row) expr.Row {
 	return out
 }
 
-func tracef(st *RetrievalStats, format string, args ...any) {
-	st.Trace = append(st.Trace, fmt.Sprintf(format, args...))
-}
+// queryIDs hands out process-wide retrieval identifiers.
+var queryIDs atomic.Uint64
+
+func nextQueryID() uint64 { return queryIDs.Add(1) }

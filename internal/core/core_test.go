@@ -382,14 +382,8 @@ func TestFastFirstOverflowSwitchesToFinal(t *testing.T) {
 	got := drain(t, rows)
 	sameMultiset(t, got, f.naive(t, q), "fast-first overflow")
 	st := rows.Stats()
-	found := false
-	for _, tr := range st.Trace {
-		if strings.Contains(tr, "overflow") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("expected overflow switch in trace: %v", st.Trace)
+	if !hasEvent(st, EvBorrowOverflow, "") {
+		t.Fatalf("expected a borrow-overflow event in trace: %v", st.Trace)
 	}
 }
 

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// hasEvent reports whether the stats' event stream carries an event of
+// the given kind; with index != "", the event must also mention that
+// index.
+func hasEvent(st RetrievalStats, kind EventKind, index string) bool {
+	return firstEvent(st, kind, index) != nil
+}
+
+func firstEvent(st RetrievalStats, kind EventKind, index string) *TraceEvent {
+	for i, ev := range st.Events {
+		if ev.Kind != kind {
+			continue
+		}
+		if index == "" {
+			return &st.Events[i]
+		}
+		for _, ix := range ev.Indexes {
+			if ix == index {
+				return &st.Events[i]
+			}
+		}
+	}
+	return nil
+}
+
+// checkStream asserts the structural invariants of one retrieval's
+// event stream: consecutive Seq from 0, a consistent QueryID matching
+// the stats, and one rendered Trace line per event.
+func checkStream(t *testing.T, st RetrievalStats) {
+	t.Helper()
+	if len(st.Events) != len(st.Trace) {
+		t.Fatalf("events (%d) and trace (%d) out of sync", len(st.Events), len(st.Trace))
+	}
+	if st.QueryID == 0 && len(st.Events) > 0 {
+		t.Fatalf("retrieval with events but no QueryID")
+	}
+	for i, ev := range st.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.QueryID != st.QueryID {
+			t.Fatalf("event %d has QueryID %d, stats say %d", i, ev.QueryID, st.QueryID)
+		}
+		if st.Trace[i] != ev.String() {
+			t.Fatalf("trace line %d is not the event rendering:\n%q\nvs\n%q", i, st.Trace[i], ev.String())
+		}
+	}
+}
+
+// TestEventStreamPerTactic runs one query per tactic and asserts the
+// typed stream: a tactic-chosen event naming the tactic, plus the
+// structural invariants.
+func TestEventStreamPerTactic(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY", "AGE+ID")
+	age, city, id := f.col(t, "AGE"), f.col(t, "CITY"), f.col(t, "ID")
+
+	cases := []struct {
+		name   string
+		q      *Query
+		tactic string
+	}{
+		{
+			name: "background-only",
+			q: &Query{
+				Table: f.tab,
+				Restriction: expr.NewAnd(
+					expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(20))),
+					expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(7))),
+				),
+				Goal: GoalTotalTime,
+			},
+			tactic: "background-only",
+		},
+		{
+			name: "fast-first",
+			q: &Query{
+				Table: f.tab,
+				Restriction: expr.NewAnd(
+					expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(20))),
+					expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(7))),
+				),
+				Goal: GoalFastFirst,
+			},
+			tactic: "fast-first",
+		},
+		{
+			name: "sorted",
+			q: &Query{
+				Table: f.tab,
+				Restriction: expr.NewAnd(
+					expr.NewCmp(expr.GE, expr.Col(age, "AGE"), expr.Lit(expr.Int(10))),
+					expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(3))),
+				),
+				OrderBy: []int{age},
+				Goal:    GoalFastFirst,
+			},
+			tactic: "sorted",
+		},
+		{
+			name: "index-only",
+			q: &Query{
+				Table: f.tab,
+				Restriction: expr.NewAnd(
+					expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(30))),
+					expr.NewCmp(expr.LT, expr.Col(id, "ID"), expr.Lit(expr.Int(5000))),
+				),
+				Projection: []int{age, id},
+				Goal:       GoalTotalTime,
+			},
+			tactic: "index-only",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := NewOptimizer(DefaultConfig())
+			rows := o.Run(tc.q)
+			got := drain(t, rows)
+			sameMultiset(t, got, f.naive(t, tc.q), tc.name)
+			st := rows.Stats()
+			checkStream(t, st)
+			chosen := firstEvent(st, EvTacticChosen, "")
+			if chosen == nil {
+				t.Fatalf("no tactic-chosen event; trace: %v", st.Trace)
+			}
+			if chosen.Tactic != tc.tactic {
+				t.Fatalf("tactic-chosen says %q, want %q (trace: %v)", chosen.Tactic, tc.tactic, st.Trace)
+			}
+			if chosen.Seq != 0 {
+				t.Fatalf("tactic-chosen should be the first event, got Seq %d", chosen.Seq)
+			}
+			if len(chosen.Indexes) == 0 {
+				t.Fatalf("tactic-chosen should name its indexes")
+			}
+			if snap := o.Metrics().Snapshot(); snap.TacticWins[tc.tactic] < 1 {
+				t.Fatalf("metrics recorded no %s win: %+v", tc.tactic, snap)
+			}
+		})
+	}
+}
+
+// TestEventStreamTscanRecommendation covers the strategy-switch path:
+// Jscan over a huge range recommends Tscan and the retrieval switches.
+func TestEventStreamTscanRecommendation(t *testing.T) {
+	f := newFixture(t, 10000, "AGE")
+	age := f.col(t, "AGE")
+	q := &Query{
+		Table:       f.tab,
+		Restriction: expr.NewCmp(expr.GE, expr.Col(age, "AGE"), expr.Lit(expr.Int(1))),
+		Goal:        GoalTotalTime,
+	}
+	o := NewOptimizer(DefaultConfig())
+	rows := o.Run(q)
+	got := drain(t, rows)
+	sameMultiset(t, got, f.naive(t, q), "tscan-recommend")
+	st := rows.Stats()
+	checkStream(t, st)
+	sw := firstEvent(st, EvStrategySwitch, "")
+	if sw == nil {
+		t.Fatalf("expected a strategy-switch event; trace: %v", st.Trace)
+	}
+	if sw.Scan != "Tscan" {
+		t.Fatalf("strategy-switch targets %q, want Tscan", sw.Scan)
+	}
+	if snap := o.Metrics().Snapshot(); snap.StrategySwitches < 1 {
+		t.Fatalf("metrics missed the strategy switch: %+v", snap)
+	}
+}
+
+// TestEventStreamEmptyRange covers the expression-level empty range: a
+// contradictory conjunction cancels every stage before estimation.
+func TestEventStreamEmptyRange(t *testing.T) {
+	f := newFixture(t, 2000, "AGE")
+	age := f.col(t, "AGE")
+	q := &Query{
+		Table: f.tab,
+		Restriction: expr.NewAnd(
+			expr.NewCmp(expr.GT, expr.Col(age, "AGE"), expr.Lit(expr.Int(50))),
+			expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(10))),
+		),
+	}
+	o := NewOptimizer(DefaultConfig())
+	rows := o.Run(q)
+	got := drain(t, rows)
+	if len(got) != 0 {
+		t.Fatalf("contradictory range delivered %d rows", len(got))
+	}
+	st := rows.Stats()
+	checkStream(t, st)
+	if st.Tactic != "empty-range" {
+		t.Fatalf("tactic = %s; trace: %v", st.Tactic, st.Trace)
+	}
+	if !hasEvent(st, EvEmptyRange, "") {
+		t.Fatalf("expected an empty-range event; trace: %v", st.Trace)
+	}
+	if c := st.IO.IOCost(); c != 0 {
+		t.Fatalf("empty range cost %d I/O, want 0", c)
+	}
+	if st.EstimateIO != 0 {
+		t.Fatalf("empty range spent %d estimation I/O, want 0", st.EstimateIO)
+	}
+	if snap := o.Metrics().Snapshot(); snap.EmptyRanges < 1 {
+		t.Fatalf("metrics missed the empty range: %+v", snap)
+	}
+}
+
+// TestOrderedEmptyRangeShortcut is the regression test for planOrdered
+// discarding the empty flag from RestrictionBounds: an ordered query
+// with a contradictory range must deliver end-of-data at once with zero
+// scan I/O instead of opening a real (full-range) scan.
+func TestOrderedEmptyRangeShortcut(t *testing.T) {
+	f := newFixture(t, 5000, "AGE")
+	age := f.col(t, "AGE")
+	for _, desc := range []bool{false, true} {
+		q := &Query{
+			Table: f.tab,
+			Restriction: expr.NewAnd(
+				expr.NewCmp(expr.GT, expr.Col(age, "AGE"), expr.Lit(expr.Int(50))),
+				expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(10))),
+			),
+			OrderBy:   []int{age},
+			OrderDesc: desc,
+		}
+		o := NewOptimizer(DefaultConfig())
+		rows := o.Run(q)
+		got := drain(t, rows)
+		if len(got) != 0 {
+			t.Fatalf("ordered contradictory range delivered %d rows", len(got))
+		}
+		st := rows.Stats()
+		checkStream(t, st)
+		if !hasEvent(st, EvEmptyRange, "") {
+			t.Fatalf("expected an empty-range event; tactic %s, trace: %v", st.Tactic, st.Trace)
+		}
+		if c := st.IO.IOCost(); c != 0 {
+			t.Fatalf("ordered empty range attributed %d I/O, want 0 (tactic %s, trace: %v)", c, st.Tactic, st.Trace)
+		}
+	}
+}
+
+// TestConfigMergeFieldWise asserts a one-field Config survives the
+// defaults merge in NewOptimizer, and that the negative "off" sentinels
+// pass through.
+func TestConfigMergeFieldWise(t *testing.T) {
+	d := DefaultConfig()
+
+	o := NewOptimizer(Config{StaticThresholds: true})
+	cfg := o.Config()
+	if !cfg.StaticThresholds {
+		t.Fatalf("StaticThresholds lost in merge")
+	}
+	if cfg.StepEntries != d.StepEntries || cfg.FgBufferCap != d.FgBufferCap ||
+		cfg.RaceFactor != d.RaceFactor || cfg.ShortRange != d.ShortRange ||
+		cfg.Criterion != d.Criterion || cfg.RID != d.RID {
+		t.Fatalf("zero fields not defaulted: %+v", cfg)
+	}
+
+	o = NewOptimizer(Config{RaceFactor: 7})
+	if got := o.Config().RaceFactor; got != 7 {
+		t.Fatalf("RaceFactor = %v, want 7", got)
+	}
+	if got := o.Config().StepEntries; got != d.StepEntries {
+		t.Fatalf("StepEntries = %v, want default", got)
+	}
+
+	// Negative sentinels mean "off" and survive untouched.
+	o = NewOptimizer(Config{RaceFactor: -1, FgBufferCap: -1})
+	if got := o.Config().RaceFactor; got != -1 {
+		t.Fatalf("RaceFactor = %v, want -1 (racing off)", got)
+	}
+	if got := o.Config().FgBufferCap; got != -1 {
+		t.Fatalf("FgBufferCap = %v, want -1 (unbounded)", got)
+	}
+
+	// Booleans: false is the paper default, so the zero value needs no
+	// sentinel and an explicit true survives any merge.
+	o = NewOptimizer(Config{DisableCompetition: true})
+	if !o.Config().DisableCompetition {
+		t.Fatalf("DisableCompetition lost in merge")
+	}
+}
+
+// TestBorrowFetcherCapNormalization covers the capRIDs == 0 bug: zero
+// must mean the documented default, negative unbounded — never
+// "overflow after the first delivered row".
+func TestBorrowFetcherCapNormalization(t *testing.T) {
+	f := newFixture(t, 10)
+	var rids []storage.RID
+	cur := f.tab.Heap.Cursor()
+	for {
+		_, r, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rids = append(rids, r)
+	}
+	q := &Query{Table: f.tab}
+
+	run := func(capRIDs int) *borrowFetcher {
+		in := &ridQueue{}
+		for _, r := range rids {
+			in.push(r)
+		}
+		in.closed = true
+		bf := newBorrowFetcher(q, in, &rowQueue{}, capRIDs)
+		for {
+			done, err := bf.step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				return bf
+			}
+		}
+	}
+
+	if bf := newBorrowFetcher(q, &ridQueue{}, &rowQueue{}, 0); bf.capRIDs != DefaultConfig().FgBufferCap {
+		t.Fatalf("capRIDs 0 normalized to %d, want the default %d", bf.capRIDs, DefaultConfig().FgBufferCap)
+	}
+	if bf := run(0); bf.overflow || len(bf.delivered) != len(rids) {
+		t.Fatalf("cap 0 (default): overflow=%v delivered=%d, want all %d rows", bf.overflow, len(bf.delivered), len(rids))
+	}
+	if bf := run(-1); bf.overflow || len(bf.delivered) != len(rids) {
+		t.Fatalf("cap -1 (unbounded): overflow=%v delivered=%d, want all %d rows", bf.overflow, len(bf.delivered), len(rids))
+	}
+	if bf := run(3); !bf.overflow || len(bf.delivered) != 3 {
+		t.Fatalf("cap 3: overflow=%v delivered=%d, want overflow at 3", bf.overflow, len(bf.delivered))
+	}
+}
+
+// collectSink gathers every event from every retrieval; safe for
+// concurrent use as TraceSink requires.
+type collectSink struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (s *collectSink) Event(ev TraceEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// TestConcurrentQueriesDoNotInterleaveStreams runs two goroutines
+// querying one optimizer through a shared sink and asserts each
+// query's stream stays internally ordered: partitioned by QueryID,
+// every stream is Seq 0..n-1 with no foreign events inside.
+func TestConcurrentQueriesDoNotInterleaveStreams(t *testing.T) {
+	f := newFixture(t, 8000, "AGE", "CITY")
+	age, city := f.col(t, "AGE"), f.col(t, "CITY")
+	sink := &collectSink{}
+	cfg := DefaultConfig()
+	cfg.Trace = sink
+	o := NewOptimizer(cfg)
+
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := &Query{
+					Table: f.tab,
+					Restriction: expr.NewAnd(
+						expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(int64(10+i)))),
+						expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(int64(w)))),
+					),
+					Goal: GoalTotalTime,
+				}
+				rows := o.Run(q)
+				for {
+					_, ok, err := rows.Next()
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !ok {
+						break
+					}
+				}
+				if err := rows.Close(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	streams := map[uint64][]TraceEvent{}
+	sink.mu.Lock()
+	for _, ev := range sink.events {
+		streams[ev.QueryID] = append(streams[ev.QueryID], ev)
+	}
+	sink.mu.Unlock()
+	if len(streams) != 2*perWorker {
+		t.Fatalf("saw %d query streams, want %d", len(streams), 2*perWorker)
+	}
+	for qid, evs := range streams {
+		for i, ev := range evs {
+			if ev.Seq != i {
+				t.Fatalf("query %d: event %d has Seq %d — streams interleaved", qid, i, ev.Seq)
+			}
+		}
+	}
+	snap := o.Metrics().Snapshot()
+	if snap.Queries != 2*perWorker {
+		t.Fatalf("metrics counted %d queries, want %d", snap.Queries, 2*perWorker)
+	}
+}

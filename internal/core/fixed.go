@@ -81,7 +81,8 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		inner.Limit = 0
 		run = &inner
 	}
-	r := &retrieval{q: run, cfg: cfg, out: &rowQueue{}}
+	r := &retrieval{q: run, cfg: cfg, out: &rowQueue{}, st: RetrievalStats{QueryID: nextQueryID()}}
+	r.trc = &tracer{st: &r.st, sink: cfg.Trace}
 	switch s.Kind {
 	case StrategyTscan:
 		r.tactic = tacticTscan
@@ -92,7 +93,7 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		}
 		lo, hi, _, empty := s.Index.RestrictionBounds(run.Restriction, run.Binds)
 		if empty {
-			return &emptyRows{stats: RetrievalStats{Tactic: "sscan", Strategy: s.String()}}, nil
+			return fixedEmpty(r, s, "sscan"), nil
 		}
 		fg, err := newSscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
 		if err != nil {
@@ -106,7 +107,7 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		}
 		lo, hi, _, empty := s.Index.RestrictionBounds(run.Restriction, run.Binds)
 		if empty {
-			return &emptyRows{stats: RetrievalStats{Tactic: "fscan", Strategy: s.String()}}, nil
+			return fixedEmpty(r, s, "fscan"), nil
 		}
 		fg, err := newFscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
 		if err != nil {
@@ -117,7 +118,10 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", s.Kind)
 	}
-	tracef(&r.st, "fixed plan: %s", s)
+	r.trc.emit(TraceEvent{
+		Kind: EvFixedPlan, Tactic: r.tactic.String(), Scan: s.String(),
+		Detail: "frozen plan, no run-time switching",
+	})
 	if ordered {
 		return r, nil
 	}
@@ -137,4 +141,13 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 	st := r.Stats()
 	st.Tactic = "sort(" + st.Tactic + ")"
 	return &sliceRows{q: q, rows: all, st: st}, nil
+}
+
+// fixedEmpty delivers the empty-range shortcut for a frozen plan.
+func fixedEmpty(r *retrieval, s FixedStrategy, tactic string) Rows {
+	r.trc.emit(TraceEvent{Kind: EvEmptyRange, Scan: s.String(), Detail: "frozen plan range empty, end of data at once"})
+	st := r.st
+	st.Tactic = tactic
+	st.Strategy = s.String()
+	return &emptyRows{stats: st}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"rdbdyn/internal/btree"
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/estimate"
@@ -30,7 +32,7 @@ type jscan struct {
 	cfg   Config
 	model estimate.CostModel
 	ests  []estimate.IndexEstimate
-	st    *RetrievalStats
+	trc   *tracer
 	m     meter
 
 	idx int // next index position to scan
@@ -86,13 +88,13 @@ type raceLeg struct {
 	dead     bool // abandoned by competition
 }
 
-func newJscan(q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, st *RetrievalStats) *jscan {
+func newJscan(q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, trc *tracer) *jscan {
 	j := &jscan{
 		q:              q,
 		cfg:            cfg,
 		model:          model,
 		ests:           ests,
-		st:             st,
+		trc:            trc,
 		m:              newMeter(),
 		filter:         rid.TrueFilter{},
 		guaranteedBest: model.TscanCost(),
@@ -175,9 +177,15 @@ func (j *jscan) finish() {
 	j.closeBorrow()
 	if j.complete == nil {
 		j.recommendTscan = true
-		tracef(j.st, "jscan: no complete RID list, recommending Tscan")
+		j.trc.emit(TraceEvent{
+			Kind: EvScanComplete, Scan: j.name(), ActualIO: j.m.cost(),
+			Detail: "no complete RID list, recommending Tscan",
+		})
 	} else {
-		tracef(j.st, "jscan: final RID list %d rids via %v", j.complete.Len(), j.completeNames)
+		j.trc.emit(TraceEvent{
+			Kind: EvScanComplete, Scan: j.name(), Indexes: j.completeNames, ActualIO: j.m.cost(),
+			Detail: fmt.Sprintf("final RID list %d rids", j.complete.Len()),
+		})
 	}
 	if j.onDone != nil {
 		j.onDone(j.completeNames)
@@ -194,7 +202,11 @@ func (j *jscan) startNextScan() bool {
 		// the direct-competition limit is skipped outright.
 		scanEst := j.model.LeafPages(e.RIDs, e.Index.Tree.AvgLeafEntries()) + float64(e.Index.Tree.Height())
 		if !j.cfg.DisableCompetition && scanEst >= j.cfg.Criterion.ScanCostFrac*j.currentGuaranteedBest() {
-			tracef(j.st, "jscan: skipping %s (scan est %.0f vs best %.0f)", e.Index.Name, scanEst, j.currentGuaranteedBest())
+			j.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Scan: j.name(), Indexes: []string{e.Index.Name},
+				EstimatedIO: scanEst, ActualIO: j.m.cost(),
+				Detail: fmt.Sprintf("skipped before scan (scan est %.0f vs best %.0f)", scanEst, j.currentGuaranteedBest()),
+			})
 			j.idx++
 			continue
 		}
@@ -233,7 +245,12 @@ func (j *jscan) openSequential(e estimate.IndexEstimate) bool {
 		j.rangeEst = 1
 	}
 	j.scan0 = j.m.total()
-	tracef(j.st, "jscan: scanning %s (est %.0f rids)", e.Index.Name, e.RIDs)
+	j.trc.emit(TraceEvent{
+		Kind: EvScanStarted, Scan: j.name(), Indexes: []string{e.Index.Name},
+		EstimatedIO: j.model.LeafPages(e.RIDs, e.Index.Tree.AvgLeafEntries()) + float64(e.Index.Tree.Height()),
+		ActualIO:    j.m.cost(),
+		Detail:      fmt.Sprintf("est %.0f rids", e.RIDs),
+	})
 	return true
 }
 
@@ -274,8 +291,11 @@ func (j *jscan) stepSequential() error {
 		projFinal := j.model.JscanFinalCost(proj)
 		scanCost := float64(j.m.total() - j.scan0)
 		if j.cfg.Criterion.Abandon(projFinal, scanCost, j.currentGuaranteedBest()) {
-			tracef(j.st, "jscan: abandoning %s (proj final %.0f, scan cost %.0f, best %.0f)",
-				j.curIx.Name, projFinal, scanCost, j.currentGuaranteedBest())
+			j.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Scan: j.name(), Indexes: []string{j.curIx.Name},
+				EstimatedIO: projFinal, ActualIO: j.m.cost(),
+				Detail: fmt.Sprintf("proj final %.0f, scan cost %.0f, best %.0f", projFinal, scanCost, j.currentGuaranteedBest()),
+			})
 			j.abandonCurrent()
 		}
 	}
@@ -321,10 +341,17 @@ func (j *jscan) completeScan() error {
 			j.completeNames = append(j.completeNames, j.curIx.Name)
 			j.filter = j.list.Filter()
 			j.guaranteedBest = newFinal
-			tracef(j.st, "jscan: %s complete, %d rids, final cost %.0f", j.curIx.Name, n, newFinal)
+			j.trc.emit(TraceEvent{
+				Kind: EvScanComplete, Scan: j.name(), Indexes: []string{j.curIx.Name},
+				EstimatedIO: newFinal, ActualIO: j.m.cost(),
+				Detail: fmt.Sprintf("%d rids, final cost %.0f", n, newFinal),
+			})
 		} else {
-			tracef(j.st, "jscan: %s complete but useless (%d rids, final %.0f >= best %.0f)",
-				j.curIx.Name, n, newFinal, j.guaranteedBest)
+			j.trc.emit(TraceEvent{
+				Kind: EvScanComplete, Scan: j.name(), Indexes: []string{j.curIx.Name},
+				EstimatedIO: newFinal, ActualIO: j.m.cost(),
+				Detail: fmt.Sprintf("complete but useless (%d rids, final %.0f >= best %.0f)", n, newFinal, j.guaranteedBest),
+			})
 			j.list.Discard()
 		}
 	}
@@ -364,7 +391,10 @@ func (j *jscan) startRace(a, b estimate.IndexEstimate) bool {
 	j.race = &raceState{a: legA, b: legB}
 	// Racing steals the borrow stream's stability; close it.
 	j.closeBorrow()
-	tracef(j.st, "jscan: racing %s (est %.0f) against %s (est %.0f)", a.Index.Name, a.RIDs, b.Index.Name, b.RIDs)
+	j.trc.emit(TraceEvent{
+		Kind: EvRaceStarted, Scan: j.name(), Indexes: []string{a.Index.Name, b.Index.Name},
+		Detail: fmt.Sprintf("est %.0f vs %.0f rids", a.RIDs, b.RIDs),
+	})
 	return true
 }
 
@@ -428,7 +458,11 @@ func (j *jscan) stepRace() error {
 			projFinal := j.model.JscanFinalCost(float64(len(leg.rids)) / frac)
 			if j.cfg.Criterion.Abandon(projFinal, float64(j.m.total()-leg.cost0)/2, j.currentGuaranteedBest()) {
 				leg.dead = true
-				tracef(j.st, "jscan: race leg %s abandoned (proj final %.0f)", leg.ix.Name, projFinal)
+				j.trc.emit(TraceEvent{
+					Kind: EvScanAbandoned, Scan: j.name(), Indexes: []string{leg.ix.Name},
+					EstimatedIO: projFinal, ActualIO: j.m.cost(),
+					Detail: fmt.Sprintf("race leg abandoned (proj final %.0f)", projFinal),
+				})
 			}
 		}
 	}
@@ -449,7 +483,10 @@ func (j *jscan) stepRace() error {
 		}
 	case r.a.dead && r.b.dead:
 		j.race = nil
-		tracef(j.st, "jscan: both race legs abandoned")
+		j.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{r.a.ix.Name, r.b.ix.Name},
+			ActualIO: j.m.cost(), Detail: "both race legs abandoned",
+		})
 		if !j.startNextScan() {
 			j.finish()
 		}
@@ -463,7 +500,11 @@ func (j *jscan) stepRace() error {
 			keep, drop = &r.b, &r.a
 		}
 		j.race = nil
-		tracef(j.st, "jscan: race hit memory budget, continuing %s, dropping %s", keep.ix.Name, drop.ix.Name)
+		j.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{keep.ix.Name, drop.ix.Name},
+			ActualIO: j.m.cost(),
+			Detail:   fmt.Sprintf("race hit memory budget, continuing %s, dropping %s", keep.ix.Name, drop.ix.Name),
+		})
 		j.continueLoser(keep)
 	}
 	return nil
@@ -474,7 +515,11 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) {
 	n := len(w.rids)
 	newFinal := j.model.JscanFinalCost(float64(n))
 	if w.dead || newFinal >= j.guaranteedBest {
-		tracef(j.st, "jscan: race winner %s useless (%d rids)", w.ix.Name, n)
+		j.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{w.ix.Name},
+			EstimatedIO: newFinal, ActualIO: j.m.cost(),
+			Detail: fmt.Sprintf("race winner %s useless (%d rids)", w.ix.Name, n),
+		})
 		return
 	}
 	c := rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
@@ -490,7 +535,11 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) {
 	j.completeNames = append(j.completeNames, w.ix.Name)
 	j.filter = c.Filter()
 	j.guaranteedBest = newFinal
-	tracef(j.st, "jscan: race winner %s, %d rids, final cost %.0f", w.ix.Name, n, newFinal)
+	j.trc.emit(TraceEvent{
+		Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{w.ix.Name},
+		EstimatedIO: newFinal, ActualIO: j.m.cost(),
+		Detail: fmt.Sprintf("race winner %s, %d rids, final cost %.0f", w.ix.Name, n, newFinal),
+	})
 }
 
 // continueLoser refilters the losing leg's partial list against the
@@ -510,5 +559,8 @@ func (j *jscan) continueLoser(l *raceLeg) {
 	j.seen = l.seen
 	j.rangeEst = l.rangeEst
 	j.scan0 = l.cost0
-	tracef(j.st, "jscan: continuing %s with %d prefiltered rids", l.ix.Name, j.list.Len())
+	j.trc.emit(TraceEvent{
+		Kind: EvScanStarted, Scan: j.name(), Indexes: []string{l.ix.Name}, ActualIO: j.m.cost(),
+		Detail: fmt.Sprintf("continuing %s with %d prefiltered rids", l.ix.Name, j.list.Len()),
+	})
 }

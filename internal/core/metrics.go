@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// estErrBuckets is the size of the estimate-error histogram: log2 of
+// predicted/actual I/O, clamped to [-3, +3] around the "~1x" center.
+const estErrBuckets = 7
+
+var estErrLabels = [estErrBuckets]string{
+	"<=1/8x", "1/4x", "1/2x", "~1x", "2x", "4x", ">=8x",
+}
+
+// Metrics is a cumulative telemetry registry over every retrieval an
+// optimizer runs: per-tactic win counts, competition-decision counters,
+// and a histogram of how far the start-retrieval I/O projection missed
+// the final attributed I/O. All counters are atomics, so concurrent
+// Stmt.Query traffic records without locks and Snapshot can be read at
+// any time.
+type Metrics struct {
+	queries          atomic.Int64
+	emptyRanges      atomic.Int64
+	scanAbandonments atomic.Int64
+	strategySwitches atomic.Int64
+	racesResolved    atomic.Int64
+	borrowOverflows  atomic.Int64
+	tacticWins       [tacticKindCount]atomic.Int64
+	estErr           [estErrBuckets]atomic.Int64
+}
+
+// onEvent folds one emitted event into the decision counters.
+func (m *Metrics) onEvent(ev TraceEvent) {
+	switch ev.Kind {
+	case EvEmptyRange:
+		m.emptyRanges.Add(1)
+	case EvScanAbandoned:
+		m.scanAbandonments.Add(1)
+	case EvStrategySwitch:
+		m.strategySwitches.Add(1)
+	case EvRaceResolved:
+		m.racesResolved.Add(1)
+	case EvBorrowOverflow:
+		m.borrowOverflows.Add(1)
+	}
+}
+
+// recordQuery counts one Run call.
+func (m *Metrics) recordQuery() { m.queries.Add(1) }
+
+// recordRetrieval folds one finished retrieval into the registry: a win
+// for its tactic, and one estimate-error sample comparing the projected
+// I/O at decision time (estimation stage + the chosen plan's estimate)
+// against the final attributed I/O.
+func (m *Metrics) recordRetrieval(t tacticKind, st *RetrievalStats) {
+	if int(t) < len(m.tacticWins) {
+		m.tacticWins[t].Add(1)
+	}
+	predicted := float64(st.EstimateIO)
+	for _, ev := range st.Events {
+		if ev.Kind == EvTacticChosen {
+			predicted += ev.EstimatedIO
+			break
+		}
+	}
+	actual := float64(st.IO.IOCost())
+	if predicted <= 0 || actual <= 0 {
+		return
+	}
+	m.estErr[estErrBucket(predicted/actual)].Add(1)
+}
+
+func estErrBucket(ratio float64) int {
+	b := estErrBuckets/2 + int(math.Round(math.Log2(ratio)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= estErrBuckets {
+		b = estErrBuckets - 1
+	}
+	return b
+}
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry, shaped
+// for JSON (rdbbench's BENCH_metrics.json, rdbsh's \metrics).
+type MetricsSnapshot struct {
+	Queries          int64            `json:"queries"`
+	EmptyRanges      int64            `json:"empty_ranges"`
+	ScanAbandonments int64            `json:"scan_abandonments"`
+	StrategySwitches int64            `json:"strategy_switches"`
+	RacesResolved    int64            `json:"races_resolved"`
+	BorrowOverflows  int64            `json:"borrow_overflows"`
+	TacticWins       map[string]int64 `json:"tactic_wins"`
+	EstimateErrorLog map[string]int64 `json:"estimate_error_log2"`
+}
+
+// Snapshot copies the counters. Under concurrent load the copy is not a
+// consistent cut across counters, but each counter is exact.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Queries:          m.queries.Load(),
+		EmptyRanges:      m.emptyRanges.Load(),
+		ScanAbandonments: m.scanAbandonments.Load(),
+		StrategySwitches: m.strategySwitches.Load(),
+		RacesResolved:    m.racesResolved.Load(),
+		BorrowOverflows:  m.borrowOverflows.Load(),
+		TacticWins:       map[string]int64{},
+		EstimateErrorLog: map[string]int64{},
+	}
+	for k := range m.tacticWins {
+		if n := m.tacticWins[k].Load(); n > 0 {
+			s.TacticWins[tacticKind(k).String()] = n
+		}
+	}
+	for b := range m.estErr {
+		if n := m.estErr[b].Load(); n > 0 {
+			s.EstimateErrorLog[estErrLabels[b]] = n
+		}
+	}
+	return s
+}

@@ -22,19 +22,21 @@ import (
 // lives in the returned Rows and is confined to its caller.
 type Optimizer struct {
 	cfg       Config
+	metrics   *Metrics
 	mu        sync.Mutex
 	rng       *rand.Rand
 	prevOrder map[string][]string
 	cluster   map[*catalog.Index]float64
 }
 
-// NewOptimizer creates a dynamic optimizer with the given configuration.
+// NewOptimizer creates a dynamic optimizer with the given
+// configuration. Zero-valued Config fields are merged with the paper's
+// defaults field by field (Config.WithDefaults), so a partial Config
+// keeps its explicit settings.
 func NewOptimizer(cfg Config) *Optimizer {
-	if cfg.StepEntries <= 0 {
-		cfg = DefaultConfig()
-	}
 	return &Optimizer{
-		cfg:       cfg,
+		cfg:       cfg.WithDefaults(),
+		metrics:   &Metrics{},
 		rng:       rand.New(rand.NewSource(1)),
 		prevOrder: make(map[string][]string),
 		cluster:   make(map[*catalog.Index]float64),
@@ -44,10 +46,14 @@ func NewOptimizer(cfg Config) *Optimizer {
 // Config returns the optimizer's configuration.
 func (o *Optimizer) Config() Config { return o.cfg }
 
+// Metrics returns the optimizer's cumulative telemetry registry.
+func (o *Optimizer) Metrics() *Metrics { return o.metrics }
+
 // Run plans and starts a retrieval for q, choosing the tactic
 // dynamically at start-retrieval time (Sections 4–7). The returned Rows
 // is lazy: scans advance as the caller pulls.
 func (o *Optimizer) Run(q *Query) Rows {
+	o.metrics.recordQuery()
 	rows, err := o.run(q)
 	if err != nil {
 		return errRows{err: err}
@@ -70,6 +76,16 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	goal := q.EffectiveGoal()
 	cl := Classify(q)
 
+	// A contradictory sargable range makes the whole conjunction
+	// unsatisfiable: cancel all retrieval stages and deliver the "end
+	// of data" condition at once, before any estimation I/O is spent.
+	if cl.EmptyRange {
+		st := RetrievalStats{FinalListLen: -1, QueryID: nextQueryID(), Tactic: "empty-range"}
+		trc := &tracer{st: &st, sink: o.cfg.Trace, metrics: o.metrics}
+		trc.emit(TraceEvent{Kind: EvEmptyRange, Detail: "contradictory sargable range, end of data at once"})
+		return &emptyRows{stats: st}, nil
+	}
+
 	// Order requested but no index delivers it: classic SORT node over
 	// a total-time retrieval.
 	if len(q.OrderBy) > 0 && len(cl.OrderNeeded) == 0 {
@@ -87,15 +103,17 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := RetrievalStats{EstimateIO: res.TotalCost, FinalListLen: -1}
+	st := RetrievalStats{EstimateIO: res.TotalCost, FinalListLen: -1, QueryID: nextQueryID()}
 	if res.EmptyRange {
-		tracef(&st, "initial stage: empty range, end of data at once")
 		st.Tactic = "empty-range"
+		trc := &tracer{st: &st, sink: o.cfg.Trace, metrics: o.metrics}
+		trc.emit(TraceEvent{Kind: EvEmptyRange, Detail: "initial stage: empty range, end of data at once"})
 		return &emptyRows{stats: st}, nil
 	}
 
 	model := o.costModel(q, cl)
-	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, out: &rowQueue{}}
+	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, out: &rowQueue{}, metrics: o.metrics}
+	r.trc = &tracer{st: &r.st, sink: o.cfg.Trace, metrics: o.metrics}
 
 	switch {
 	case len(q.OrderBy) > 0:
@@ -128,7 +146,10 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 		} else {
 			r.tactic = tacticTscan
 			r.fg = newTscan(q, r.out)
-			tracef(&r.st, "static: no useful index, Tscan")
+			r.trc.emit(TraceEvent{
+				Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Tscan",
+				EstimatedIO: model.TscanCost(), Detail: "no useful index",
+			})
 		}
 	}
 	return r, nil
@@ -137,17 +158,32 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 // planUnion arranges a union scan as the background process, under the
 // same background-only / fast-first choreography as Jscan.
 func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model estimate.CostModel, goal Goal) {
+	var (
+		names    []string
+		totalEst float64
+	)
+	for _, l := range legs {
+		names = append(names, l.Index.Name)
+		totalEst += l.Est
+	}
+	unionEst := model.JscanFinalCost(totalEst)
 	if goal == GoalFastFirst {
 		r.tactic = tacticFastFirst
 		borrow := &ridQueue{}
-		r.bg = newUscan(q, o.cfg, model, legs, borrow, &r.st)
+		r.bg = newUscan(q, o.cfg, model, legs, borrow, r.trc)
 		r.fg = newBorrowFetcher(q, borrow, r.out, o.cfg.FgBufferCap)
-		tracef(&r.st, "tactic: fast-first over a %d-leg union", len(legs))
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Uscan", Indexes: names,
+			EstimatedIO: unionEst, Detail: fmt.Sprintf("fast-first over a %d-leg union", len(legs)),
+		})
 		return
 	}
 	r.tactic = tacticBackgroundOnly
-	r.bg = newUscan(q, o.cfg, model, legs, nil, &r.st)
-	tracef(&r.st, "tactic: background-only union over %d disjunct legs", len(legs))
+	r.bg = newUscan(q, o.cfg, model, legs, nil, r.trc)
+	r.trc.emit(TraceEvent{
+		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Uscan", Indexes: names,
+		EstimatedIO: unionEst, Detail: fmt.Sprintf("background-only union over %d disjunct legs", len(legs)),
+	})
 }
 
 // runSorted wraps a total-time retrieval in a SORT (the paper's goal
@@ -247,10 +283,14 @@ func (o *Optimizer) observer(q *Query) func([]string) {
 // planBackgroundOnly: total-time, fetch-needed indexes only.
 func (o *Optimizer) planBackgroundOnly(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
 	r.tactic = tacticBackgroundOnly
-	j := newJscan(q, o.cfg, model, res.Estimates, nil, &r.st)
+	j := newJscan(q, o.cfg, model, res.Estimates, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
-	tracef(&r.st, "tactic: background-only over %d indexes", len(res.Estimates))
+	r.trc.emit(TraceEvent{
+		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Jscan", Indexes: estNames(res.Estimates),
+		EstimatedIO: bgPlanEst(model, res.Estimates[0]),
+		Detail:      fmt.Sprintf("background-only over %d indexes", len(res.Estimates)),
+	})
 }
 
 // planFastFirst: fast-first, fetch-needed indexes only. The background
@@ -259,13 +299,17 @@ func (o *Optimizer) planBackgroundOnly(q *Query, res estimate.Result, r *retriev
 func (o *Optimizer) planFastFirst(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
 	r.tactic = tacticFastFirst
 	cfg := o.cfg
-	cfg.RaceFactor = 0
+	cfg.RaceFactor = -1
 	borrow := &ridQueue{}
-	j := newJscan(q, cfg, model, res.Estimates, borrow, &r.st)
+	j := newJscan(q, cfg, model, res.Estimates, borrow, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
 	r.fg = newBorrowFetcher(q, borrow, r.out, cfg.FgBufferCap)
-	tracef(&r.st, "tactic: fast-first, foreground borrows from %s", res.Estimates[0].Index.Name)
+	r.trc.emit(TraceEvent{
+		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Jscan", Indexes: estNames(res.Estimates),
+		EstimatedIO: bgPlanEst(model, res.Estimates[0]),
+		Detail:      "fast-first, foreground borrows from " + res.Estimates[0].Index.Name,
+	})
 }
 
 // planWithSelfSufficient: a self-sufficient index is available. With no
@@ -278,7 +322,7 @@ func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res esti
 	}
 	if bestEmpty {
 		r.tactic = tacticSscan
-		tracef(&r.st, "sscan: empty range")
+		r.trc.emit(TraceEvent{Kind: EvEmptyRange, Scan: "Sscan", Indexes: []string{best.Name}, Detail: "sscan range empty, end of data at once"})
 		r.closed = true
 		return nil
 	}
@@ -290,15 +334,40 @@ func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res esti
 	r.fgEstTotal = bestCost
 	if len(res.Estimates) == 0 {
 		r.tactic = tacticSscan
-		tracef(&r.st, "static: lone self-sufficient index %s", best.Name)
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(), Indexes: []string{best.Name},
+			EstimatedIO: bestCost, Detail: "lone self-sufficient index",
+		})
 		return nil
 	}
 	r.tactic = tacticIndexOnly
-	j := newJscan(q, o.cfg, r.model, res.Estimates, nil, &r.st)
+	j := newJscan(q, o.cfg, r.model, res.Estimates, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
-	tracef(&r.st, "tactic: index-only, Sscan(%s) vs Jscan(%d indexes)", best.Name, len(res.Estimates))
+	r.trc.emit(TraceEvent{
+		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(),
+		Indexes:     append([]string{best.Name}, estNames(res.Estimates)...),
+		EstimatedIO: bestCost,
+		Detail:      fmt.Sprintf("Sscan(%s) races Jscan over %d indexes", best.Name, len(res.Estimates)),
+	})
 	return nil
+}
+
+// estNames lists the index names of an estimate slice.
+func estNames(ests []estimate.IndexEstimate) []string {
+	out := make([]string, len(ests))
+	for i, e := range ests {
+		out[i] = e.Index.Name
+	}
+	return out
+}
+
+// bgPlanEst is the optimistic projected I/O of a background plan: scan
+// the most selective index, then fetch its RID list in the final stage.
+// Pure arithmetic over already-computed estimates — no I/O.
+func bgPlanEst(model estimate.CostModel, e estimate.IndexEstimate) float64 {
+	return model.LeafPages(e.RIDs, e.Index.Tree.AvgLeafEntries()) +
+		float64(e.Index.Tree.Height()) + model.JscanFinalCost(e.RIDs)
 }
 
 // bestSscan picks the cheapest self-sufficient index by estimated scan
@@ -339,25 +408,43 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 	// Prefer an order-needed index that is also self-sufficient.
 	for _, ix := range cl.OrderNeeded {
 		if ix.Covers(q.neededColumns()) {
-			lo, hi, _, _ := ix.RestrictionBounds(q.Restriction, q.Binds)
+			lo, hi, _, empty := ix.RestrictionBounds(q.Restriction, q.Binds)
+			if empty {
+				// Contradictory range: cancel all stages, end of data
+				// at once, zero scan I/O.
+				r.tactic = tacticSscan
+				r.trc.emit(TraceEvent{Kind: EvEmptyRange, Scan: "Sscan", Indexes: []string{ix.Name}, Detail: "ordered range empty, end of data at once"})
+				r.closed = true
+				return nil, nil
+			}
 			fg, err := newSscan(q, ix, lo, hi, r.out, o.cfg.StepEntries, q.OrderDesc)
 			if err != nil {
 				return nil, err
 			}
 			r.tactic = tacticSscan
 			r.fg = fg
-			tracef(&r.st, "ordered: self-sufficient order-needed index %s", ix.Name)
+			r.trc.emit(TraceEvent{
+				Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(), Indexes: []string{ix.Name},
+				Detail: "self-sufficient order-needed index",
+			})
 			return nil, nil
 		}
 	}
 	ordIx := cl.OrderNeeded[0]
-	ordLo, ordHi, _, _ := ordIx.RestrictionBounds(q.Restriction, q.Binds)
+	ordLo, ordHi, _, ordEmpty := ordIx.RestrictionBounds(q.Restriction, q.Binds)
+	if ordEmpty {
+		r.tactic = tacticFscan
+		r.trc.emit(TraceEvent{Kind: EvEmptyRange, Scan: "Fscan", Indexes: []string{ordIx.Name}, Detail: "ordered range empty, end of data at once"})
+		r.closed = true
+		return nil, nil
+	}
+	var fscanEst float64
 	if q.EffectiveGoal() != GoalFastFirst {
 		rids, _, err := ordIx.Tree.EstimateRangeRefined(ordLo, ordHi)
 		if err != nil {
 			return nil, err
 		}
-		fscanEst := r.model.FscanCost(rids, ordIx.Tree.AvgLeafEntries(), ordIx.Tree.Height())
+		fscanEst = r.model.FscanCost(rids, ordIx.Tree.AvgLeafEntries(), ordIx.Tree.Height())
 		if fscanEst > r.model.TscanCost() {
 			// Ordered Fscan loses to materialize-and-sort: delegate.
 			return o.runSorted(q)
@@ -378,7 +465,10 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 	}
 	if len(others) == 0 {
 		r.tactic = tacticFscan
-		tracef(&r.st, "ordered: plain Fscan(%s)", ordIx.Name)
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(), Indexes: []string{ordIx.Name},
+			EstimatedIO: fscanEst, Detail: "ordered plain Fscan",
+		})
 		return nil, nil
 	}
 	r.tactic = tacticSorted
@@ -386,9 +476,14 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 	// spill, the bitmap absorbs overflow (Section 7, sorted tactic).
 	cfg := o.cfg
 	cfg.RID.FilterOnly = true
-	j := newJscan(q, cfg, r.model, others, nil, &r.st)
+	j := newJscan(q, cfg, r.model, others, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
-	tracef(&r.st, "tactic: sorted, Fscan(%s) + filter Jscan(%d indexes)", ordIx.Name, len(others))
+	r.trc.emit(TraceEvent{
+		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(),
+		Indexes:     append([]string{ordIx.Name}, estNames(others)...),
+		EstimatedIO: fscanEst,
+		Detail:      fmt.Sprintf("Fscan(%s) + filter Jscan(%d indexes)", ordIx.Name, len(others)),
+	})
 	return nil, nil
 }

@@ -331,6 +331,11 @@ type borrowFetcher struct {
 }
 
 func newBorrowFetcher(q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borrowFetcher {
+	// capRIDs == 0 means "the documented default", never "overflow
+	// after the first delivered row"; a negative cap means unbounded.
+	if capRIDs == 0 {
+		capRIDs = DefaultConfig().FgBufferCap
+	}
 	return &borrowFetcher{
 		q:       q,
 		in:      in,
@@ -368,7 +373,7 @@ func (b *borrowFetcher) step() (bool, error) {
 		if keep {
 			b.out.push(b.q.project(row))
 			b.delivered = append(b.delivered, rid)
-			if len(b.delivered) >= b.capRIDs {
+			if b.capRIDs > 0 && len(b.delivered) >= b.capRIDs {
 				b.overflow = true
 				b.done = true
 				return true, nil

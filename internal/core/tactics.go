@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 
 	"rdbdyn/internal/estimate"
@@ -20,6 +21,9 @@ const (
 	tacticFastFirst
 	tacticSorted
 	tacticIndexOnly
+
+	// tacticKindCount sizes per-tactic metric arrays.
+	tacticKindCount
 )
 
 // backgroundScan is the contract between the retrieval and its
@@ -78,6 +82,10 @@ type retrieval struct {
 	tactic tacticKind
 	model  estimate.CostModel
 	st     RetrievalStats
+	// trc stamps and fans out this retrieval's trace events; metrics is
+	// the optimizer's shared registry (nil for fixed plans).
+	trc     *tracer
+	metrics *Metrics
 
 	out *rowQueue
 
@@ -216,7 +224,10 @@ func (r *retrieval) advance() (bool, error) {
 
 // onFgDone handles foreground completion.
 func (r *retrieval) onFgDone() error {
-	tracef(&r.st, "%s: foreground %s complete", r.tactic, r.fg.name())
+	r.trc.emit(TraceEvent{
+		Kind: EvScanComplete, Tactic: r.tactic.String(), Scan: r.fg.name(),
+		ActualIO: r.fg.cost(), Detail: "foreground complete",
+	})
 	switch r.tactic {
 	case tacticFastFirst:
 		// The borrow stream ended. If the background's first scan
@@ -238,7 +249,6 @@ func (r *retrieval) onFgDone() error {
 
 // onBgDone handles background (Jscan) completion.
 func (r *retrieval) onBgDone() error {
-	tracef(&r.st, "%s: background complete", r.tactic)
 	r.st.WinningOrder = append([]string(nil), r.bg.bgNames()...)
 	if c := r.bg.bgComplete(); c != nil {
 		r.st.FinalListLen = c.Len()
@@ -250,7 +260,11 @@ func (r *retrieval) onBgDone() error {
 		if r.bg.bgRecommendTscan() {
 			// Strategy switch: Jscan proved sequential retrieval
 			// optimal.
-			tracef(&r.st, "background-only: switching to Tscan")
+			r.trc.emit(TraceEvent{
+				Kind: EvStrategySwitch, Tactic: r.tactic.String(), Scan: "Tscan",
+				Indexes: r.bg.bgNames(), EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
+				Detail: "background recommends Tscan, switching",
+			})
 			r.replaceFg(newTscan(r.q, r.out))
 			return nil
 		}
@@ -267,7 +281,10 @@ func (r *retrieval) onBgDone() error {
 			f := c.Filter()
 			if fs, ok := r.fg.(*fscan); ok && !r.fgDone {
 				fs.setFilter(f.MayContain)
-				tracef(&r.st, "sorted: Jscan filter (%d rids) installed into %s", c.Len(), r.fg.name())
+				r.trc.emit(TraceEvent{
+					Kind: EvFilterInstalled, Tactic: r.tactic.String(), Scan: r.fg.name(),
+					Indexes: r.bg.bgNames(), Detail: fmt.Sprintf("Jscan filter (%d rids) installed", c.Len()),
+				})
 			}
 		}
 		return nil
@@ -284,7 +301,11 @@ func (r *retrieval) onBgDone() error {
 func (r *retrieval) bgResolveFastFirst() error {
 	delivered := r.fgDeliveredRIDs()
 	if r.bg.bgRecommendTscan() {
-		tracef(&r.st, "fast-first: background recommends Tscan for the remainder")
+		r.trc.emit(TraceEvent{
+			Kind: EvStrategySwitch, Tactic: r.tactic.String(), Scan: "Tscan",
+			EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
+			Detail: "background recommends Tscan for the remainder",
+		})
 		ts := newTscan(r.q, r.out)
 		if len(delivered) > 0 {
 			ts.exclude = rid.NewSortedList(delivered)
@@ -303,7 +324,10 @@ func (r *retrieval) bgResolveIndexOnly() error {
 		return nil
 	}
 	if r.bg.bgRecommendTscan() || r.bg.bgComplete() == nil {
-		tracef(&r.st, "index-only: background produced nothing, Sscan continues")
+		r.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Tactic: r.tactic.String(), Scan: r.fg.name(),
+			Detail: "background produced nothing, Sscan continues",
+		})
 		return nil
 	}
 	finCost := r.model.JscanFinalCost(float64(r.bg.bgComplete().Len()))
@@ -312,11 +336,23 @@ func (r *retrieval) bgResolveIndexOnly() error {
 		remaining = 0
 	}
 	if finCost < remaining {
-		tracef(&r.st, "index-only: final stage (%.0f) beats remaining Sscan (%.0f); abandoning Sscan", finCost, remaining)
+		r.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Tactic: r.tactic.String(), Scan: "Fin", Indexes: r.bg.bgNames(),
+			EstimatedIO: finCost, ActualIO: r.fg.cost(),
+			Detail: fmt.Sprintf("final stage (%.0f) beats remaining Sscan (%.0f)", finCost, remaining),
+		})
+		r.trc.emit(TraceEvent{
+			Kind: EvScanAbandoned, Tactic: r.tactic.String(), Scan: r.fg.name(),
+			ActualIO: r.fg.cost(), Detail: "abandoning Sscan in favor of the sure final stage",
+		})
 		r.fgTerminated = true
 		return r.enterFinal(r.fgDeliveredRIDs())
 	}
-	tracef(&r.st, "index-only: Sscan remainder (%.0f) beats final stage (%.0f); Sscan continues", remaining, finCost)
+	r.trc.emit(TraceEvent{
+		Kind: EvRaceResolved, Tactic: r.tactic.String(), Scan: r.fg.name(),
+		EstimatedIO: finCost, ActualIO: r.fg.cost(),
+		Detail: fmt.Sprintf("Sscan remainder (%.0f) beats final stage (%.0f); Sscan continues", remaining, finCost),
+	})
 	return nil
 }
 
@@ -332,7 +368,11 @@ func (r *retrieval) control() error {
 		if bf.overflow && !r.fgTerminated {
 			// Section 7: upon buffer overflow the foreground run is
 			// terminated and the buffer passes to the final stage.
-			tracef(&r.st, "fast-first: foreground buffer overflow, switching to background tactic")
+			r.trc.emit(TraceEvent{
+				Kind: EvBorrowOverflow, Tactic: r.tactic.String(), Scan: bf.name(),
+				ActualIO: bf.cost(),
+				Detail:   fmt.Sprintf("foreground buffer overflow (%d delivered), switching to background tactic", len(bf.delivered)),
+			})
 			r.fgTerminated = true
 			r.fgDone = true
 			if r.bg != nil {
@@ -350,7 +390,12 @@ func (r *retrieval) control() error {
 		// Section 7: upon foreground buffer overflow, Jscan terminates
 		// and Sscan continues (the safer strategy).
 		if ss, ok := r.fg.(*sscan); ok && r.bg != nil && !r.bgDone &&
-			len(ss.delivered) >= r.cfg.FgBufferCap {
+			r.cfg.FgBufferCap > 0 && len(ss.delivered) >= r.cfg.FgBufferCap {
+			r.trc.emit(TraceEvent{
+				Kind: EvBorrowOverflow, Tactic: r.tactic.String(), Scan: r.fg.name(),
+				ActualIO: r.fg.cost(),
+				Detail:   fmt.Sprintf("delivered-RID buffer overflow (%d rids); Sscan is safer", len(ss.delivered)),
+			})
 			r.stopBackground("foreground buffer overflow; Sscan is safer")
 		}
 	}
@@ -364,13 +409,19 @@ func (r *retrieval) enterFinal(delivered []storage.RID) error {
 		return err
 	}
 	r.fin = fin
-	tracef(&r.st, "%s: final stage over %d rids (excluding %d delivered)", r.tactic, len(fin.rids), len(delivered))
+	r.trc.emit(TraceEvent{
+		Kind: EvFinalStage, Tactic: r.tactic.String(), Scan: "Fin", Indexes: r.bg.bgNames(),
+		Detail: fmt.Sprintf("final stage over %d rids (excluding %d delivered)", len(fin.rids), len(delivered)),
+	})
 	return nil
 }
 
 // stopBackground abandons the background process.
 func (r *retrieval) stopBackground(why string) {
-	tracef(&r.st, "%s: stopping background (%s)", r.tactic, why)
+	r.trc.emit(TraceEvent{
+		Kind: EvScanAbandoned, Tactic: r.tactic.String(), Scan: r.bg.name(),
+		Indexes: r.bg.bgNames(), ActualIO: r.bg.cost(), Detail: "stopping background: " + why,
+	})
 	r.bg.bgKill()
 	r.bgDone = true
 	r.bgStopped = true
@@ -428,6 +479,9 @@ func (r *retrieval) finalizeStats() {
 	}
 	r.st.IO = io
 	r.st.Strategy = strings.Join(parts, "+")
+	if r.metrics != nil {
+		r.metrics.recordRetrieval(r.tactic, &r.st)
+	}
 }
 
 // stepperIO extracts the IOStats a stepper's meter accumulated.

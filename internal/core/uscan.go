@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"rdbdyn/internal/btree"
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/estimate"
@@ -31,7 +33,7 @@ type uscan struct {
 	cfg   Config
 	model estimate.CostModel
 	legs  []unionLeg
-	st    *RetrievalStats
+	trc   *tracer
 	m     meter
 
 	idx      int // current leg
@@ -135,14 +137,14 @@ func localDisjunct(d expr.Expr, ix *catalog.Index) expr.Expr {
 	return nil
 }
 
-func newUscan(q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, st *RetrievalStats) *uscan {
+func newUscan(q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, trc *tracer) *uscan {
 	m := newMeter()
 	u := &uscan{
 		q:            q,
 		cfg:          cfg,
 		model:        model,
 		legs:         legs,
-		st:           st,
+		trc:          trc,
 		m:            m,
 		list:         rid.NewContainerTracked(q.Table.Pool(), cfg.RID, m.tr),
 		borrow:       borrow,
@@ -205,7 +207,10 @@ func (u *uscan) step() (bool, error) {
 		}
 		u.cur = cur
 		u.names = append(u.names, leg.Index.Name)
-		tracef(u.st, "uscan: leg %d/%d scanning %s (est %.0f rids)", u.idx+1, len(u.legs), leg.Index.Name, leg.Est)
+		u.trc.emit(TraceEvent{
+			Kind: EvScanStarted, Scan: u.name(), Indexes: []string{leg.Index.Name}, ActualIO: u.m.cost(),
+			Detail: fmt.Sprintf("leg %d/%d, est %.0f rids", u.idx+1, len(u.legs), leg.Est),
+		})
 	}
 	leg := u.legs[u.idx]
 	for i := 0; i < u.cfg.StepEntries; i++ {
@@ -254,8 +259,11 @@ func (u *uscan) step() (bool, error) {
 		projFinal := u.model.JscanFinalCost(proj)
 		scanCost := float64(u.m.total())
 		if u.cfg.Criterion.Abandon(projFinal, scanCost, u.model.TscanCost()) {
-			tracef(u.st, "uscan: abandoning union (proj final %.0f, scan cost %.0f, Tscan %.0f)",
-				projFinal, scanCost, u.model.TscanCost())
+			u.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Scan: u.name(), Indexes: u.names,
+				EstimatedIO: projFinal, ActualIO: u.m.cost(),
+				Detail: fmt.Sprintf("union abandoned (proj final %.0f, scan cost %.0f, Tscan %.0f)", projFinal, scanCost, u.model.TscanCost()),
+			})
 			u.abandon()
 		}
 	}
@@ -265,7 +273,10 @@ func (u *uscan) step() (bool, error) {
 func (u *uscan) finish() {
 	u.done = true
 	u.closeBorrow()
-	tracef(u.st, "uscan: union complete, %d rids via %v", u.list.Len(), u.names)
+	u.trc.emit(TraceEvent{
+		Kind: EvScanComplete, Scan: u.name(), Indexes: u.names, ActualIO: u.m.cost(),
+		Detail: fmt.Sprintf("union complete, %d rids", u.list.Len()),
+	})
 }
 
 func (u *uscan) abandon() {

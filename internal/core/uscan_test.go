@@ -88,14 +88,15 @@ func TestUnionScanAbandonsToTscanWhenWide(t *testing.T) {
 	if cost > 3*int64(f.tab.Pages()) {
 		t.Fatalf("abandoned union should cost ~Tscan: %d vs %d", cost, f.tab.Pages())
 	}
+	st := rows.Stats()
 	found := false
-	for _, tr := range rows.Stats().Trace {
-		if strings.Contains(tr, "abandoning union") {
+	for _, ev := range st.Events {
+		if ev.Kind == EvScanAbandoned && ev.Scan == "Uscan" {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("expected union abandonment in trace: %v", rows.Stats().Trace)
+		t.Fatalf("expected union abandonment in trace: %v", st.Trace)
 	}
 }
 

@@ -74,15 +74,14 @@ func Open(opts Options) *DB {
 	} else {
 		pool = storage.NewBufferPool(disk, opts.PoolFrames)
 	}
-	cfg := opts.Optimizer
-	if cfg.StepEntries == 0 {
-		cfg = core.DefaultConfig()
-	}
+	// Zero-valued Config fields are filled in field-wise by the
+	// optimizer (core.Config.WithDefaults), so a caller tuning one knob
+	// keeps the paper defaults for every other.
 	return &DB{
 		disk: disk,
 		pool: pool,
 		cat:  catalog.New(pool),
-		opt:  core.NewOptimizer(cfg),
+		opt:  core.NewOptimizer(opts.Optimizer),
 	}
 }
 
@@ -94,6 +93,11 @@ func (db *DB) Pool() *storage.BufferPool { return db.pool }
 
 // Optimizer exposes the dynamic optimizer for direct core.Query use.
 func (db *DB) Optimizer() *core.Optimizer { return db.opt }
+
+// Metrics snapshots the optimizer's cumulative competition telemetry:
+// per-tactic win counts, abandonments, strategy switches, and the
+// estimate-error histogram. Safe to call concurrently with queries.
+func (db *DB) Metrics() core.MetricsSnapshot { return db.opt.Metrics().Snapshot() }
 
 // CreateTable registers a table.
 func (db *DB) CreateTable(name string, cols ...catalog.Column) (*catalog.Table, error) {
@@ -206,18 +210,35 @@ func (s *Stmt) Query(binds Binds) (*Result, error) {
 	q := *s.compiled.Query
 	q.Binds = bb
 	if s.compiled.Explain {
-		return s.explain(&q)
+		return s.explain(&q, s.compiled.Analyze)
 	}
 	rows := s.db.opt.Run(&q)
 	return newResult(s.db, s.compiled, rows)
 }
 
-// explain plans the retrieval with the current bindings, closes it
-// without executing the productive stages, and reports the decision as
-// (aspect, detail) rows, alongside the static optimizer's frozen choice
-// for contrast.
-func (s *Stmt) explain(q *core.Query) (*Result, error) {
+// explain plans the retrieval with the current bindings and reports the
+// decision as (aspect, detail) rows — the typed competition events plus
+// the static optimizer's frozen choice for contrast. Plain EXPLAIN
+// closes the retrieval without executing the productive stages; EXPLAIN
+// ANALYZE drains it to completion first, so the rows also show what
+// actually happened (winning strategy, rows delivered, attributed I/O)
+// and the event stream covers the whole competition.
+func (s *Stmt) explain(q *core.Query, analyze bool) (*Result, error) {
 	rows := s.db.opt.Run(q)
+	var delivered int64
+	if analyze {
+		for {
+			_, ok, err := rows.Next()
+			if err != nil {
+				rows.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			delivered++
+		}
+	}
 	st := rows.Stats()
 	if err := rows.Close(); err != nil {
 		return nil, err
@@ -225,10 +246,17 @@ func (s *Stmt) explain(q *core.Query) (*Result, error) {
 	out := [][2]string{
 		{"goal", q.EffectiveGoal().String()},
 		{"tactic", st.Tactic},
-		{"estimation I/O", fmt.Sprintf("%d", st.EstimateIO)},
 	}
-	for _, tr := range st.Trace {
-		out = append(out, [2]string{"plan", tr})
+	if analyze {
+		out = append(out,
+			[2]string{"strategy", st.Strategy},
+			[2]string{"rows", fmt.Sprintf("%d", delivered)},
+			[2]string{"attributed I/O", fmt.Sprintf("%d", st.IO.IOCost())},
+		)
+	}
+	out = append(out, [2]string{"estimation I/O", fmt.Sprintf("%d", st.EstimateIO)})
+	for _, ev := range st.Events {
+		out = append(out, [2]string{"event:" + ev.Kind.String(), ev.String()})
 	}
 	var staticPlan string
 	if plan, err := planner.Prepare(q); err == nil {
@@ -245,6 +273,7 @@ func (s *Stmt) explain(q *core.Query) (*Result, error) {
 		rows:    nil,
 		columns: []string{"aspect", "detail"},
 		explain: exp,
+		expStat: &st,
 	}, nil
 }
 
@@ -310,6 +339,7 @@ type Result struct {
 	counted bool
 	explain []expr.Row
 	expPos  int
+	expStat *core.RetrievalStats
 }
 
 func newResult(db *DB, c *sql.Compiled, rows core.Rows) (*Result, error) {
@@ -399,9 +429,14 @@ func (r *Result) Close() error {
 	return r.rows.Close()
 }
 
-// Stats reports what the executor did.
+// Stats reports what the executor did. For EXPLAIN results these are
+// the stats of the explained retrieval (complete under ANALYZE, the
+// planning prefix otherwise).
 func (r *Result) Stats() core.RetrievalStats {
 	if r.rows == nil {
+		if r.expStat != nil {
+			return *r.expStat
+		}
 		return core.RetrievalStats{Tactic: "explain"}
 	}
 	return r.rows.Stats()

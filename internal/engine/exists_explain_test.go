@@ -138,6 +138,101 @@ func TestExplainExists(t *testing.T) {
 	}
 }
 
+// explainRows drains an EXPLAIN result into aspect=detail strings.
+func explainRows(t *testing.T, res *Result) []string {
+	t.Helper()
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].S + "=" + r[1].S
+	}
+	return out
+}
+
+func containsAspect(rows []string, prefix string) bool {
+	for _, r := range rows {
+		if strings.HasPrefix(r, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExplainAnalyzeFlipsStrategyWithBindings is the acceptance test
+// for EXPLAIN ANALYZE: the same prepared statement, executed with a
+// selective and a non-selective binding, must show different run-time
+// behavior in its typed event stream — the selective run completes its
+// Jscan, the wide run switches to Tscan mid-flight (experiment T4.A).
+func TestExplainAnalyzeFlipsStrategyWithBindings(t *testing.T) {
+	db := newDB(t, 20000)
+	stmt, err := db.Prepare("EXPLAIN ANALYZE SELECT * FROM FAMILIES WHERE AGE >= :A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	selRes, err := stmt.Query(Binds{"A1": 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := explainRows(t, selRes)
+	if !containsAspect(sel, "event:tactic-chosen=") {
+		t.Fatalf("selective run missing tactic-chosen event:\n%s", strings.Join(sel, "\n"))
+	}
+	if containsAspect(sel, "event:strategy-switch=") {
+		t.Fatalf("selective run must not switch strategies:\n%s", strings.Join(sel, "\n"))
+	}
+	if st := selRes.Stats(); !strings.Contains(st.Strategy, "Jscan[AGE_IX]") {
+		t.Fatalf("selective strategy = %q, want the index scan to win", st.Strategy)
+	}
+
+	wideRes, err := stmt.Query(Binds{"A1": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := explainRows(t, wideRes)
+	if !containsAspect(wide, "event:tactic-chosen=") {
+		t.Fatalf("wide run missing tactic-chosen event:\n%s", strings.Join(wide, "\n"))
+	}
+	if !containsAspect(wide, "event:strategy-switch=") {
+		t.Fatalf("wide run must switch to Tscan:\n%s", strings.Join(wide, "\n"))
+	}
+	st := wideRes.Stats()
+	if !strings.Contains(st.Strategy, "Tscan") {
+		t.Fatalf("wide strategy = %q, want Tscan", st.Strategy)
+	}
+	if !containsAspect(wide, "rows=20000") {
+		t.Fatalf("ANALYZE must report the delivered row count:\n%s", strings.Join(wide, "\n"))
+	}
+	for _, aspect := range []string{"strategy=", "attributed I/O=", "estimation I/O="} {
+		if !containsAspect(wide, aspect) {
+			t.Fatalf("ANALYZE output missing %q:\n%s", aspect, strings.Join(wide, "\n"))
+		}
+	}
+
+	// The cumulative metrics saw both runs and the mid-flight switch.
+	snap := db.Metrics()
+	if snap.Queries < 2 || snap.StrategySwitches < 1 {
+		t.Fatalf("metrics = %+v, want >=2 queries and >=1 strategy switch", snap)
+	}
+}
+
+// TestExplainWithoutAnalyzeStaysCheap pins the plain-EXPLAIN contract
+// after the ANALYZE addition: no strategy/rows rows, no execution.
+func TestExplainWithoutAnalyzeStaysCheap(t *testing.T) {
+	db := newDB(t, 5000)
+	res, err := db.Query("EXPLAIN SELECT * FROM FAMILIES WHERE AGE >= 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := explainRows(t, res)
+	if containsAspect(rows, "rows=") || containsAspect(rows, "attributed I/O=") {
+		t.Fatalf("plain EXPLAIN must not carry ANALYZE rows:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
 func TestUnionThroughSQL(t *testing.T) {
 	db := newDB(t, 10000)
 	if _, err := db.CreateIndex("FAMILIES", "ID_IX", "ID"); err != nil {

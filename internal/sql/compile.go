@@ -21,6 +21,9 @@ type Compiled struct {
 	Agg *Aggregate
 	// Explain marks plan description instead of full execution.
 	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: execute fully, then describe what
+	// actually happened.
+	Analyze bool
 }
 
 // Compile resolves the statement's names against the catalog and builds
@@ -99,7 +102,7 @@ func Compile(cat *catalog.Catalog, stmt *SelectStmt) (*Compiled, error) {
 		q.OrderBy = append(q.OrderBy, ci)
 	}
 	q.OrderDesc = stmt.OrderDesc
-	return &Compiled{Stmt: stmt, Query: q, CountStar: stmt.CountStar, Exists: stmt.Exists, Explain: stmt.Explain, Agg: stmt.Agg}, nil
+	return &Compiled{Stmt: stmt, Query: q, CountStar: stmt.CountStar, Exists: stmt.Exists, Explain: stmt.Explain, Analyze: stmt.Analyze, Agg: stmt.Agg}, nil
 }
 
 func compileNode(tab *catalog.Table, n Node) (expr.Expr, error) {

@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"NOT": true, "ORDER": true, "BY": true, "LIMIT": true, "TO": true,
 	"ROWS": true, "ROW": true, "OPTIMIZE": true, "FOR": true, "FAST": true,
 	"FIRST": true, "TOTAL": true, "TIME": true, "COUNT": true, "ASC": true,
-	"EXISTS": true, "EXPLAIN": true, "INSERT": true, "INTO": true,
+	"EXISTS": true, "EXPLAIN": true, "ANALYZE": true, "INSERT": true, "INTO": true,
 	"VALUES": true, "DELETE": true, "IN": true, "BETWEEN": true,
 	"UPDATE": true, "SET": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "DESC": true,

@@ -21,6 +21,10 @@ type SelectStmt struct {
 	// Explain is true for EXPLAIN <statement>: the plan is described
 	// instead of executed to completion.
 	Explain bool
+	// Analyze is true for EXPLAIN ANALYZE <statement>: the retrieval is
+	// executed to completion and the description includes what actually
+	// happened (strategy, rows, attributed I/O) alongside the plan.
+	Analyze bool
 	Table   string
 	Where   Node // nil when absent
 	OrderBy []string
@@ -84,7 +88,7 @@ func (OrNode) node()    {}
 func (NotNode) node()   {}
 
 // Parse parses one statement: SELECT ..., EXISTS(SELECT ...), either
-// optionally prefixed by EXPLAIN.
+// optionally prefixed by EXPLAIN or EXPLAIN ANALYZE.
 func Parse(src string) (*SelectStmt, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -92,6 +96,7 @@ func Parse(src string) (*SelectStmt, error) {
 	}
 	p := &parser{toks: toks}
 	explain := p.acceptKeyword("EXPLAIN")
+	analyze := explain && p.acceptKeyword("ANALYZE")
 	var stmt *SelectStmt
 	if p.acceptKeyword("EXISTS") {
 		if p.peek().kind != tokLParen {
@@ -117,6 +122,7 @@ func Parse(src string) (*SelectStmt, error) {
 		}
 	}
 	stmt.Explain = explain
+	stmt.Analyze = analyze
 	if p.peek().kind != tokEOF {
 		return nil, errf(p.peek().pos, "unexpected %s after statement", p.peek())
 	}
