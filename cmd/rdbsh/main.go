@@ -9,20 +9,54 @@
 //	rdb> \stats        -- show the last statement's tactic, trace, and I/O
 //	rdb> \set A1 9990  -- bind a host variable
 //	rdb> SELECT * FROM FAMILIES WHERE AGE >= :A1 LIMIT 3
+//	rdb> \timeout 50ms -- deadline for every following statement
+//	rdb> \budget 2000  -- per-query simulated-I/O budget
 //	rdb> \quit
+//
+// Ctrl-C cancels the in-flight query (reporting the rows delivered and
+// I/O attributed so far) instead of killing the shell.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"rdbdyn/internal/core"
 	"rdbdyn/internal/engine"
 	"rdbdyn/internal/workload"
 )
+
+// interruptState routes SIGINT to the in-flight query's cancel
+// function. When no query is running the signal is swallowed (the
+// shell stays alive; \quit exits).
+type interruptState struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+func (s *interruptState) set(c context.CancelFunc) {
+	s.mu.Lock()
+	s.cancel = c
+	s.mu.Unlock()
+}
+
+func (s *interruptState) fire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel == nil {
+		return false
+	}
+	s.cancel()
+	return true
+}
 
 func main() {
 	db := engine.Open(engine.Options{PoolFrames: 1024})
@@ -43,10 +77,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rdbsh:", err)
 		os.Exit(1)
 	}
-	fmt.Println(`ready. SQL statements end at newline; \help for commands.`)
+	fmt.Println(`ready. SQL statements end at newline; \help for commands. Ctrl-C cancels the running query.`)
+
+	intr := &interruptState{}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		for range sig {
+			if !intr.fire() {
+				fmt.Println(`
+interrupt: no query in flight (\quit to exit)`)
+			}
+		}
+	}()
 
 	binds := engine.Binds{}
-	var lastStats *core.RetrievalStats
+	var (
+		lastStats *core.RetrievalStats
+		timeout   time.Duration
+		budget    int64
+	)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("rdb> ")
@@ -63,11 +113,14 @@ func main() {
 			fmt.Println(`commands:
   \set NAME VALUE   bind a host variable (integer or 'string')
   \binds            show current bindings
+  \timeout DUR      deadline for every following statement (e.g. 50ms; 0 = off)
+  \budget N         per-query simulated-I/O budget (0 = off)
   \stats            show the last statement's tactic, strategy, I/O, trace
   \metrics          show cumulative optimizer metrics (tactic wins, switches, estimate error)
   \quit             exit
 EXPLAIN <select> describes the plan; EXPLAIN ANALYZE <select> executes it
-and reports the typed competition events alongside.`)
+and reports the typed competition events alongside. Ctrl-C cancels the
+in-flight query and reports its partial progress.`)
 		case line == `\binds`:
 			for k, v := range binds {
 				fmt.Printf("  :%s = %v\n", k, v)
@@ -80,6 +133,48 @@ and reports the typed competition events alongside.`)
 			printStats(*lastStats)
 		case line == `\metrics`:
 			printMetrics(db.Metrics())
+		case line == `\timeout` || strings.HasPrefix(line, `\timeout `):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\timeout`))
+			switch {
+			case arg == "":
+				if timeout > 0 {
+					fmt.Printf("timeout: %v\n", timeout)
+				} else {
+					fmt.Println("timeout: off")
+				}
+			case arg == "0" || arg == "off":
+				timeout = 0
+				fmt.Println("timeout off")
+			default:
+				d, err := time.ParseDuration(arg)
+				if err != nil || d < 0 {
+					fmt.Println(`usage: \timeout DURATION (e.g. 50ms, 2s; 0 = off)`)
+					continue
+				}
+				timeout = d
+				fmt.Printf("timeout set to %v\n", timeout)
+			}
+		case line == `\budget` || strings.HasPrefix(line, `\budget `):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\budget`))
+			switch {
+			case arg == "":
+				if budget > 0 {
+					fmt.Printf("I/O budget: %d\n", budget)
+				} else {
+					fmt.Println("I/O budget: off")
+				}
+			case arg == "0" || arg == "off":
+				budget = 0
+				fmt.Println("I/O budget off")
+			default:
+				n, err := strconv.ParseInt(arg, 10, 64)
+				if err != nil || n < 0 {
+					fmt.Println(`usage: \budget N (simulated page I/Os; 0 = off)`)
+					continue
+				}
+				budget = n
+				fmt.Printf("I/O budget set to %d simulated page I/Os\n", budget)
+			}
 		case strings.HasPrefix(line, `\set `):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {
@@ -106,7 +201,7 @@ and reports the typed competition events alongside.`)
 				fmt.Printf("-- %d rows affected\n", n)
 				continue
 			}
-			st, err := runSQL(db, line, binds)
+			st, err := runSQL(db, line, binds, timeout, budget, intr)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -116,10 +211,41 @@ and reports the typed competition events alongside.`)
 	}
 }
 
-func runSQL(db *engine.DB, src string, binds engine.Binds) (*core.RetrievalStats, error) {
+// cancelCause reports whether err is one of the three cooperative
+// unwind causes (interrupt, deadline, budget) and names it.
+func cancelCause(err error) (string, bool) {
+	switch {
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return "I/O budget exhausted", true
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline exceeded", true
+	case errors.Is(err, context.Canceled):
+		return "interrupted", true
+	default:
+		return "", false
+	}
+}
+
+func runSQL(db *engine.DB, src string, binds engine.Binds, timeout time.Duration, budget int64, intr *interruptState) (*core.RetrievalStats, error) {
 	db.Pool().ResetStats()
-	res, err := db.Query(src, binds)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+	if budget > 0 {
+		ctx = core.WithIOBudget(ctx, budget)
+	}
+	intr.set(cancel)
+	defer intr.set(nil)
+
+	res, err := db.QueryContext(ctx, src, binds)
 	if err != nil {
+		if cause, ok := cancelCause(err); ok {
+			return nil, fmt.Errorf("%s before any row was delivered", cause)
+		}
 		return nil, err
 	}
 	fmt.Println(strings.Join(res.Columns(), " | "))
@@ -128,7 +254,13 @@ func runSQL(db *engine.DB, src string, binds engine.Binds) (*core.RetrievalStats
 	for {
 		row, ok, err := res.Next()
 		if err != nil {
+			st := res.Stats()
 			res.Close()
+			if cause, ok := cancelCause(err); ok {
+				fmt.Printf("-- %s: %d rows delivered before the query unwound, attributed I/O: %s\n",
+					cause, count, st.IO)
+				return &st, nil
+			}
 			return nil, err
 		}
 		if !ok {
@@ -172,6 +304,10 @@ func printMetrics(m core.MetricsSnapshot) {
 	fmt.Printf("strategy switches: %d\n", m.StrategySwitches)
 	fmt.Printf("races resolved:    %d\n", m.RacesResolved)
 	fmt.Printf("borrow overflows:  %d\n", m.BorrowOverflows)
+	fmt.Printf("cancelled:         %d\n", m.QueriesCancelled)
+	fmt.Printf("deadline exceeded: %d\n", m.QueriesDeadlineExceeded)
+	fmt.Printf("budget exceeded:   %d\n", m.QueriesBudgetExceeded)
+	fmt.Printf("admission rejects: %d\n", m.AdmissionRejected)
 	if len(m.TacticWins) > 0 {
 		fmt.Println("tactic wins:")
 		for _, tactic := range []string{"tscan", "sscan", "fscan", "background-only", "fast-first", "sorted", "index-only"} {

@@ -1,0 +1,128 @@
+package btree
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+func encInt(v int64) []byte {
+	return expr.EncodeKey(nil, expr.Int(v))
+}
+
+// TestDeadlineExpiresInDescent drives a governed Seek with an already
+// expired context: the very first page access of the root-to-leaf
+// descent must refuse with context.DeadlineExceeded, and no pin may be
+// left behind.
+func TestDeadlineExpiresInDescent(t *testing.T) {
+	tr, pool := newTestTree(t, 512)
+	var vals []int64
+	for i := int64(0); i < 20000; i++ {
+		vals = append(vals, i)
+	}
+	insertInts(t, tr, vals)
+	if tr.Height() < 2 {
+		t.Fatalf("tree too shallow (height %d) to exercise a descent", tr.Height())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	trk := storage.NewTracker(storage.NewGovernor(ctx, 0))
+	if _, err := tr.SeekTracked(encInt(5000), encInt(6000), trk); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SeekTracked err = %v, want context.DeadlineExceeded", err)
+	}
+	if trk.IOCost() != 0 {
+		t.Fatalf("expired descent still charged %d I/Os", trk.IOCost())
+	}
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("%d pins leaked by the refused descent", n)
+	}
+}
+
+// TestDeadlineExpiresMidLeafIteration seeks successfully, then expires
+// the deadline mid-iteration: the next leaf hop must surface the
+// deadline error, and Close must release the pin the cursor still
+// holds on its current leaf.
+func TestDeadlineExpiresMidLeafIteration(t *testing.T) {
+	tr, pool := newTestTree(t, 512)
+	var vals []int64
+	for i := int64(0); i < 20000; i++ {
+		vals = append(vals, i)
+	}
+	insertInts(t, tr, vals)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trk := storage.NewTracker(storage.NewGovernor(ctx, 0))
+	cur, err := tr.SeekTracked(encInt(0), nil, trk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := cur.Next(); err != nil || !ok {
+		t.Fatalf("first entry: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	// The current leaf's entries are already in memory; the error must
+	// surface no later than the next page access (the leaf hop).
+	sawErr := false
+	for i := 0; i < 100000; i++ {
+		_, _, ok, err := cur.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			sawErr = true
+			break
+		}
+		if !ok {
+			t.Fatal("cursor exhausted the whole tree despite cancellation")
+		}
+	}
+	if !sawErr {
+		t.Fatal("no error surfaced after cancellation")
+	}
+	if n := pool.PinnedPages(); n == 0 {
+		t.Fatal("cursor should still pin its current leaf until Close")
+	}
+	cur.Close()
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("%d pins leaked after Close", n)
+	}
+}
+
+// TestBudgetExhaustionInReverseScan covers the reverse cursor under a
+// budget: the descent plus a few retreats exhaust it and the error is
+// ErrBudgetExceeded, with all pins released after Close.
+func TestBudgetExhaustionInReverseScan(t *testing.T) {
+	tr, pool := newTestTree(t, 512)
+	var vals []int64
+	for i := int64(0); i < 20000; i++ {
+		vals = append(vals, i)
+	}
+	insertInts(t, tr, vals)
+	// Budgets meter genuine simulated I/O (pool misses): start cold.
+	pool.EvictAll()
+	trk := storage.NewTracker(storage.NewGovernor(context.Background(), 4))
+	cur, err := tr.SeekReverseTracked(nil, nil, trk)
+	if err == nil {
+		for {
+			_, _, ok, nerr := cur.Next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+		cur.Close()
+	}
+	if !errors.Is(err, storage.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("%d pins leaked", n)
+	}
+}

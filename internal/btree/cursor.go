@@ -9,14 +9,20 @@ import (
 // inclusive lower and exclusive upper encoded-key bound (nil = open).
 // Every node and leaf visit is charged to the buffer pool, so cursor
 // progress has measurable I/O cost.
+//
+// The cursor pins its current leaf in the buffer pool for as long as it
+// holds a position there; the pin moves on each leaf hop and is dropped
+// on exhaustion or Close. Callers that may abandon a cursor before
+// exhaustion (cancelled scans) must Close it to release the pin.
 type Cursor struct {
-	tree *BTree
-	hi   []byte
-	node *node
-	no   storage.PageNo
-	pos  int
-	done bool
-	tr   *storage.Tracker
+	tree   *BTree
+	hi     []byte
+	node   *node
+	no     storage.PageNo
+	pos    int
+	done   bool
+	pinned bool
+	tr     *storage.Tracker
 }
 
 // Seek positions a cursor at the first entry with key >= lo (or the
@@ -35,7 +41,7 @@ func (t *BTree) SeekTracked(lo, hi []byte, tr *storage.Tracker) (*Cursor, error)
 			return nil, err
 		}
 		if n.leaf {
-			c.node, c.no = n, no
+			c.setLeaf(n, no)
 			if lo == nil {
 				c.pos = 0
 			} else {
@@ -51,6 +57,21 @@ func (t *BTree) SeekTracked(lo, hi []byte, tr *storage.Tracker) (*Cursor, error)
 	}
 }
 
+// setLeaf repositions the cursor onto leaf n (page no), moving the pin.
+func (c *Cursor) setLeaf(n *node, no storage.PageNo) {
+	c.unpin()
+	c.node, c.no = n, no
+	c.tree.pool.Pin(storage.PageID{File: c.tree.file, No: no})
+	c.pinned = true
+}
+
+func (c *Cursor) unpin() {
+	if c.pinned {
+		c.tree.pool.Unpin(storage.PageID{File: c.tree.file, No: c.no})
+		c.pinned = false
+	}
+}
+
 // Next returns the next entry. ok is false when the cursor is
 // exhausted (past hi or at the end of the tree). The returned key is
 // the tree's internal copy and must not be modified.
@@ -63,6 +84,7 @@ func (c *Cursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
 			k, r := c.node.keys[c.pos], c.node.rids[c.pos]
 			if c.hi != nil && expr.CompareKeys(k, c.hi) >= 0 {
 				c.done = true
+				c.unpin()
 				return nil, storage.RID{}, false, nil
 			}
 			c.pos++
@@ -70,6 +92,7 @@ func (c *Cursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
 		}
 		if c.node.next == 0 {
 			c.done = true
+			c.unpin()
 			return nil, storage.RID{}, false, nil
 		}
 		next := storage.PageNo(c.node.next - 1)
@@ -77,9 +100,18 @@ func (c *Cursor) Next() (key []byte, rid storage.RID, ok bool, err error) {
 		if err != nil {
 			return nil, storage.RID{}, false, err
 		}
-		c.node, c.no, c.pos = n, next, 0
+		c.setLeaf(n, next)
+		c.pos = 0
 	}
 }
 
 // Done reports whether the cursor has been exhausted.
 func (c *Cursor) Done() bool { return c.done }
+
+// Close releases the cursor's leaf pin. It is idempotent and required
+// when a cursor is abandoned before exhaustion (an abandoned or
+// cancelled scan); an exhausted cursor has already unpinned itself.
+func (c *Cursor) Close() {
+	c.done = true
+	c.unpin()
+}

@@ -13,14 +13,19 @@ import (
 //
 // Descending scans are what make "ORDER BY ... DESC" an order-needed
 // use of an ascending index.
+//
+// Like the forward Cursor, the reverse cursor pins its current leaf and
+// releases the pin on exhaustion or Close.
 type ReverseCursor struct {
-	tree  *BTree
-	lo    []byte
-	stack []revFrame
-	node  *node
-	pos   int
-	done  bool
-	tr    *storage.Tracker
+	tree   *BTree
+	lo     []byte
+	stack  []revFrame
+	node   *node
+	curNo  storage.PageNo
+	pos    int
+	done   bool
+	pinned bool
+	tr     *storage.Tracker
 }
 
 type revFrame struct {
@@ -46,7 +51,7 @@ func (t *BTree) SeekReverseTracked(lo, hi []byte, tr *storage.Tracker) (*Reverse
 			return nil, err
 		}
 		if n.leaf {
-			c.node = n
+			c.setLeaf(n, no)
 			if hi == nil {
 				c.pos = len(n.keys) - 1
 			} else {
@@ -54,6 +59,7 @@ func (t *BTree) SeekReverseTracked(lo, hi []byte, tr *storage.Tracker) (*Reverse
 			}
 			if c.pos < 0 {
 				if err := c.retreat(); err != nil {
+					c.unpin()
 					return nil, err
 				}
 			}
@@ -68,6 +74,21 @@ func (t *BTree) SeekReverseTracked(lo, hi []byte, tr *storage.Tracker) (*Reverse
 	}
 }
 
+// setLeaf repositions the cursor onto leaf n (page no), moving the pin.
+func (c *ReverseCursor) setLeaf(n *node, no storage.PageNo) {
+	c.unpin()
+	c.node, c.curNo = n, no
+	c.tree.pool.Pin(storage.PageID{File: c.tree.file, No: no})
+	c.pinned = true
+}
+
+func (c *ReverseCursor) unpin() {
+	if c.pinned {
+		c.tree.pool.Unpin(storage.PageID{File: c.tree.file, No: c.curNo})
+		c.pinned = false
+	}
+}
+
 // retreat moves to the last entry of the previous leaf.
 func (c *ReverseCursor) retreat() error {
 	for {
@@ -77,6 +98,7 @@ func (c *ReverseCursor) retreat() error {
 		}
 		if len(c.stack) == 0 {
 			c.done = true
+			c.unpin()
 			return nil
 		}
 		c.stack[len(c.stack)-1].idx--
@@ -93,7 +115,7 @@ func (c *ReverseCursor) retreat() error {
 				return err
 			}
 			if n.leaf {
-				c.node = n
+				c.setLeaf(n, no)
 				c.pos = len(n.keys) - 1
 				break
 			}
@@ -116,6 +138,7 @@ func (c *ReverseCursor) Next() (key []byte, rid storage.RID, ok bool, err error)
 	k, r := c.node.keys[c.pos], c.node.rids[c.pos]
 	if c.lo != nil && expr.CompareKeys(k, c.lo) < 0 {
 		c.done = true
+		c.unpin()
 		return nil, storage.RID{}, false, nil
 	}
 	c.pos--
@@ -125,4 +148,11 @@ func (c *ReverseCursor) Next() (key []byte, rid storage.RID, ok bool, err error)
 		}
 	}
 	return k, r, true, nil
+}
+
+// Close releases the cursor's leaf pin. It is idempotent and required
+// when the cursor is abandoned before exhaustion.
+func (c *ReverseCursor) Close() {
+	c.done = true
+	c.unpin()
 }

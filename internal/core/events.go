@@ -48,6 +48,11 @@ const (
 	EvFinalStage
 	// EvFixedPlan marks a frozen (static-baseline) plan executing.
 	EvFixedPlan
+	// EvQueryCancelled marks a retrieval unwound by its execution
+	// context: caller cancellation, deadline expiry, or I/O-budget
+	// exhaustion. Its ActualIO is the I/O invested before the unwind and
+	// its Detail names the cause.
+	EvQueryCancelled
 )
 
 func (k EventKind) String() string {
@@ -76,6 +81,8 @@ func (k EventKind) String() string {
 		return "final-stage"
 	case EvFixedPlan:
 		return "fixed-plan"
+	case EvQueryCancelled:
+		return "query-cancelled"
 	default:
 		return "?"
 	}
@@ -148,6 +155,7 @@ type TraceSink interface {
 type tracer struct {
 	st      *RetrievalStats
 	sink    TraceSink
+	extra   TraceSink // optional per-query sink carried by the ExecCtx
 	metrics *Metrics
 }
 
@@ -164,5 +172,8 @@ func (t *tracer) emit(ev TraceEvent) {
 	}
 	if t.sink != nil {
 		t.sink.Event(ev)
+	}
+	if t.extra != nil {
+		t.extra.Event(ev)
 	}
 }

@@ -26,7 +26,7 @@ type finalStage struct {
 	done    bool
 }
 
-func newFinalStage(q *Query, c *rid.Container, delivered []storage.RID, out *rowQueue) (*finalStage, error) {
+func newFinalStage(ec *ExecCtx, q *Query, c *rid.Container, delivered []storage.RID, out *rowQueue) (*finalStage, error) {
 	if c == nil {
 		return nil, errors.New("core: final stage without a RID list")
 	}
@@ -41,7 +41,7 @@ func newFinalStage(q *Query, c *rid.Container, delivered []storage.RID, out *row
 		q:    q,
 		rids: rids,
 		out:  out,
-		m:    newMeter(),
+		m:    newMeter(ec),
 	}
 	if len(delivered) > 0 {
 		f.exclude = rid.NewSortedList(delivered)
@@ -51,6 +51,7 @@ func newFinalStage(q *Query, c *rid.Container, delivered []storage.RID, out *row
 
 func (f *finalStage) name() string  { return "Fin" }
 func (f *finalStage) cost() float64 { return f.m.cost() }
+func (f *finalStage) release()      {} // materialized RID slice; no cursor held
 
 func (f *finalStage) step() (bool, error) {
 	if f.done {

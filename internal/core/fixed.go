@@ -55,14 +55,24 @@ func (s FixedStrategy) String() string {
 // result is materialized and sorted, as a static plan's SORT node
 // would.
 func RunFixed(q *Query, s FixedStrategy, cfg Config) Rows {
-	rows, err := runFixed(q, s, cfg)
+	return RunFixedExec(nil, q, s, cfg)
+}
+
+// RunFixedExec is RunFixed under an execution context: cancellation,
+// deadline, and I/O budget unwind the frozen retrieval exactly as they
+// do the dynamic one (nil ec = free).
+func RunFixedExec(ec *ExecCtx, q *Query, s FixedStrategy, cfg Config) Rows {
+	rows, err := runFixed(ec, q, s, cfg)
 	if err != nil {
 		return errRows{err: err}
 	}
 	return rows
 }
 
-func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
+func runFixed(ec *ExecCtx, q *Query, s FixedStrategy, cfg Config) (Rows, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
 	if q.Table == nil {
 		return nil, fmt.Errorf("core: query without table")
 	}
@@ -81,12 +91,12 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		inner.Limit = 0
 		run = &inner
 	}
-	r := &retrieval{q: run, cfg: cfg, out: &rowQueue{}, st: RetrievalStats{QueryID: nextQueryID()}}
-	r.trc = &tracer{st: &r.st, sink: cfg.Trace}
+	r := &retrieval{q: run, cfg: cfg, ec: ec, out: &rowQueue{}, st: RetrievalStats{QueryID: nextQueryID()}}
+	r.trc = &tracer{st: &r.st, sink: cfg.Trace, extra: ec.traceSink()}
 	switch s.Kind {
 	case StrategyTscan:
 		r.tactic = tacticTscan
-		r.fg = newTscan(run, r.out)
+		r.fg = newTscan(ec, run, r.out)
 	case StrategySscan:
 		if s.Index == nil {
 			return nil, fmt.Errorf("core: Sscan strategy without index")
@@ -95,7 +105,7 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		if empty {
 			return fixedEmpty(r, s, "sscan"), nil
 		}
-		fg, err := newSscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
+		fg, err := newSscan(ec, run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +119,7 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 		if empty {
 			return fixedEmpty(r, s, "fscan"), nil
 		}
-		fg, err := newFscan(run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
+		fg, err := newFscan(ec, run, s.Index, lo, hi, r.out, cfg.StepEntries, ordered && q.OrderDesc)
 		if err != nil {
 			return nil, err
 		}
@@ -130,6 +140,7 @@ func runFixed(q *Query, s FixedStrategy, cfg Config) (Rows, error) {
 	for {
 		row, ok, err := r.Next()
 		if err != nil {
+			r.Close()
 			return nil, err
 		}
 		if !ok {

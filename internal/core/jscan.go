@@ -88,14 +88,14 @@ type raceLeg struct {
 	dead     bool // abandoned by competition
 }
 
-func newJscan(q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, trc *tracer) *jscan {
+func newJscan(ec *ExecCtx, q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, trc *tracer) *jscan {
 	j := &jscan{
 		q:              q,
 		cfg:            cfg,
 		model:          model,
 		ests:           ests,
 		trc:            trc,
-		m:              newMeter(),
+		m:              newMeter(ec),
 		filter:         rid.TrueFilter{},
 		guaranteedBest: model.TscanCost(),
 		tscanCost:      model.TscanCost(),
@@ -114,9 +114,20 @@ func (j *jscan) bgComplete() *rid.Container { return j.complete }
 func (j *jscan) bgNames() []string          { return j.completeNames }
 func (j *jscan) bgRecommendTscan() bool     { return j.recommendTscan }
 
-// bgKill abandons the background: containers are discarded and the scan
-// is marked done.
+// bgKill abandons the background: open cursors are closed (releasing
+// their leaf pins), containers are discarded, and the scan is marked
+// done. It doubles as the stepper release hook, so it must be
+// idempotent and safe mid-race.
 func (j *jscan) bgKill() {
+	if j.cur != nil {
+		j.cur.Close()
+		j.cur = nil
+	}
+	if j.race != nil {
+		j.race.a.cur.Close()
+		j.race.b.cur.Close()
+		j.race = nil
+	}
 	if j.complete != nil {
 		j.complete.Discard()
 		j.complete = nil
@@ -128,6 +139,9 @@ func (j *jscan) bgKill() {
 	j.closeBorrow()
 	j.done = true
 }
+
+// release implements stepper cleanup; cancellation unwinds through it.
+func (j *jscan) release() { j.bgKill() }
 
 // borrowStreamComplete reports whether the borrow queue received every
 // candidate RID (its feeding scan was not abandoned).
@@ -369,6 +383,9 @@ func (j *jscan) abandonCurrent() {
 	if j.list != nil {
 		j.list.Discard()
 	}
+	if j.cur != nil {
+		j.cur.Close()
+	}
 	j.cur = nil
 	j.list = nil
 	if !j.startNextScan() {
@@ -458,6 +475,7 @@ func (j *jscan) stepRace() error {
 			projFinal := j.model.JscanFinalCost(float64(len(leg.rids)) / frac)
 			if j.cfg.Criterion.Abandon(projFinal, float64(j.m.total()-leg.cost0)/2, j.currentGuaranteedBest()) {
 				leg.dead = true
+				leg.cur.Close()
 				j.trc.emit(TraceEvent{
 					Kind: EvScanAbandoned, Scan: j.name(), Indexes: []string{leg.ix.Name},
 					EstimatedIO: projFinal, ActualIO: j.m.cost(),
@@ -499,6 +517,7 @@ func (j *jscan) stepRace() error {
 		if len(r.b.rids) < len(r.a.rids) {
 			keep, drop = &r.b, &r.a
 		}
+		drop.cur.Close()
 		j.race = nil
 		j.trc.emit(TraceEvent{
 			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{keep.ix.Name, drop.ix.Name},

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync/atomic"
+
+	"rdbdyn/internal/storage"
 )
 
 // estErrBuckets is the size of the estimate-error histogram: log2 of
@@ -26,6 +30,10 @@ type Metrics struct {
 	strategySwitches atomic.Int64
 	racesResolved    atomic.Int64
 	borrowOverflows  atomic.Int64
+	cancelled        atomic.Int64
+	deadlineExceeded atomic.Int64
+	budgetExceeded   atomic.Int64
+	admissionReject  atomic.Int64
 	tacticWins       [tacticKindCount]atomic.Int64
 	estErr           [estErrBuckets]atomic.Int64
 }
@@ -48,6 +56,25 @@ func (m *Metrics) onEvent(ev TraceEvent) {
 
 // recordQuery counts one Run call.
 func (m *Metrics) recordQuery() { m.queries.Add(1) }
+
+// recordCancellation classifies an execution-context unwind into one of
+// the three cancellation counters. Deadline is checked before Canceled:
+// an expired WithTimeout context reports DeadlineExceeded from Err even
+// after its CancelFunc runs.
+func (m *Metrics) recordCancellation(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		m.deadlineExceeded.Add(1)
+	case errors.Is(err, storage.ErrBudgetExceeded):
+		m.budgetExceeded.Add(1)
+	case errors.Is(err, context.Canceled):
+		m.cancelled.Add(1)
+	}
+}
+
+// RecordAdmissionRejected counts one query turned away by engine
+// admission control (queue full or admission-wait timeout).
+func (m *Metrics) RecordAdmissionRejected() { m.admissionReject.Add(1) }
 
 // recordRetrieval folds one finished retrieval into the registry: a win
 // for its tactic, and one estimate-error sample comparing the projected
@@ -93,6 +120,12 @@ type MetricsSnapshot struct {
 	BorrowOverflows  int64            `json:"borrow_overflows"`
 	TacticWins       map[string]int64 `json:"tactic_wins"`
 	EstimateErrorLog map[string]int64 `json:"estimate_error_log2"`
+
+	// Execution-context and admission outcomes.
+	QueriesCancelled        int64 `json:"queries_cancelled"`
+	QueriesDeadlineExceeded int64 `json:"queries_deadline_exceeded"`
+	QueriesBudgetExceeded   int64 `json:"queries_budget_exceeded"`
+	AdmissionRejected       int64 `json:"admission_rejected"`
 }
 
 // Snapshot copies the counters. Under concurrent load the copy is not a
@@ -107,6 +140,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BorrowOverflows:  m.borrowOverflows.Load(),
 		TacticWins:       map[string]int64{},
 		EstimateErrorLog: map[string]int64{},
+
+		QueriesCancelled:        m.cancelled.Load(),
+		QueriesDeadlineExceeded: m.deadlineExceeded.Load(),
+		QueriesBudgetExceeded:   m.budgetExceeded.Load(),
+		AdmissionRejected:       m.admissionReject.Load(),
 	}
 	for k := range m.tacticWins {
 		if n := m.tacticWins[k].Load(); n > 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,17 +52,35 @@ func (o *Optimizer) Metrics() *Metrics { return o.metrics }
 
 // Run plans and starts a retrieval for q, choosing the tactic
 // dynamically at start-retrieval time (Sections 4–7). The returned Rows
-// is lazy: scans advance as the caller pulls.
-func (o *Optimizer) Run(q *Query) Rows {
+// is lazy: scans advance as the caller pulls. Run is the free-context
+// entry point (no cancellation, no deadline, no budget); RunCtx and
+// RunExec are the governed ones.
+func (o *Optimizer) Run(q *Query) Rows { return o.RunExec(nil, q) }
+
+// RunCtx is Run honoring ctx: cancellation and deadline stop the
+// retrieval within one simulated page I/O, and a WithIOBudget budget
+// carried by ctx bounds its attributed I/O.
+func (o *Optimizer) RunCtx(ctx context.Context, q *Query) Rows {
+	return o.RunExec(NewExecCtx(ctx, 0), q)
+}
+
+// RunExec runs q under the given execution context (nil = free).
+func (o *Optimizer) RunExec(ec *ExecCtx, q *Query) Rows {
 	o.metrics.recordQuery()
-	rows, err := o.run(q)
+	rows, err := o.run(ec, q)
 	if err != nil {
+		if isCancellation(err) && ec.markCancelRecorded() {
+			o.metrics.recordCancellation(err)
+		}
 		return errRows{err: err}
 	}
 	return rows
 }
 
-func (o *Optimizer) run(q *Query) (Rows, error) {
+func (o *Optimizer) run(ec *ExecCtx, q *Query) (Rows, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
 	if q.Table == nil {
 		return nil, fmt.Errorf("core: query without table")
 	}
@@ -81,7 +100,7 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	// of data" condition at once, before any estimation I/O is spent.
 	if cl.EmptyRange {
 		st := RetrievalStats{FinalListLen: -1, QueryID: nextQueryID(), Tactic: "empty-range"}
-		trc := &tracer{st: &st, sink: o.cfg.Trace, metrics: o.metrics}
+		trc := &tracer{st: &st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
 		trc.emit(TraceEvent{Kind: EvEmptyRange, Detail: "contradictory sargable range, end of data at once"})
 		return &emptyRows{stats: st}, nil
 	}
@@ -89,7 +108,7 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	// Order requested but no index delivers it: classic SORT node over
 	// a total-time retrieval.
 	if len(q.OrderBy) > 0 && len(cl.OrderNeeded) == 0 {
-		return o.runSorted(q)
+		return o.runSorted(ec, q)
 	}
 
 	// Initial stage over the fetch-needed indexes. The prevOrder slice
@@ -98,7 +117,7 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	o.mu.Lock()
 	prev := o.prevOrder[q.Table.Name]
 	o.mu.Unlock()
-	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: prev}
+	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: prev, Governor: ec.Governor()}
 	res, err := estimate.Appraise(cl.FetchNeeded, q.Restriction, q.Binds, opts)
 	if err != nil {
 		return nil, err
@@ -106,18 +125,18 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 	st := RetrievalStats{EstimateIO: res.TotalCost, FinalListLen: -1, QueryID: nextQueryID()}
 	if res.EmptyRange {
 		st.Tactic = "empty-range"
-		trc := &tracer{st: &st, sink: o.cfg.Trace, metrics: o.metrics}
+		trc := &tracer{st: &st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
 		trc.emit(TraceEvent{Kind: EvEmptyRange, Detail: "initial stage: empty range, end of data at once"})
 		return &emptyRows{stats: st}, nil
 	}
 
 	model := o.costModel(q, cl)
-	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, out: &rowQueue{}, metrics: o.metrics}
-	r.trc = &tracer{st: &r.st, sink: o.cfg.Trace, metrics: o.metrics}
+	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, ec: ec, out: &rowQueue{}, metrics: o.metrics}
+	r.trc = &tracer{st: &r.st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
 
 	switch {
 	case len(q.OrderBy) > 0:
-		alt, err := o.planOrdered(q, cl, res, r)
+		alt, err := o.planOrdered(ec, q, cl, res, r)
 		if err != nil {
 			return nil, err
 		}
@@ -125,27 +144,27 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 			return alt, nil
 		}
 	case len(cl.SelfSufficient) > 0:
-		if err := o.planWithSelfSufficient(q, cl, res, r); err != nil {
+		if err := o.planWithSelfSufficient(ec, q, cl, res, r); err != nil {
 			return nil, err
 		}
 	case len(res.Estimates) > 0:
 		if goal == GoalFastFirst {
-			o.planFastFirst(q, res, r, model)
+			o.planFastFirst(ec, q, res, r, model)
 		} else {
-			o.planBackgroundOnly(q, res, r, model)
+			o.planBackgroundOnly(ec, q, res, r, model)
 		}
 	default:
 		// No conjunct-level index use. A top-level OR whose disjuncts
 		// are all index-coverable can still be resolved by a union
 		// scan; otherwise the classical sequential retrieval remains.
-		ptr := new(storage.Tracker)
+		ptr := storage.NewTracker(ec.Governor())
 		legs := unionLegs(q, ptr)
 		r.st.EstimateIO += ptr.IOCost()
 		if legs != nil {
-			o.planUnion(q, legs, r, model, goal)
+			o.planUnion(ec, q, legs, r, model, goal)
 		} else {
 			r.tactic = tacticTscan
-			r.fg = newTscan(q, r.out)
+			r.fg = newTscan(ec, q, r.out)
 			r.trc.emit(TraceEvent{
 				Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Tscan",
 				EstimatedIO: model.TscanCost(), Detail: "no useful index",
@@ -157,7 +176,7 @@ func (o *Optimizer) run(q *Query) (Rows, error) {
 
 // planUnion arranges a union scan as the background process, under the
 // same background-only / fast-first choreography as Jscan.
-func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model estimate.CostModel, goal Goal) {
+func (o *Optimizer) planUnion(ec *ExecCtx, q *Query, legs []unionLeg, r *retrieval, model estimate.CostModel, goal Goal) {
 	var (
 		names    []string
 		totalEst float64
@@ -170,8 +189,8 @@ func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model est
 	if goal == GoalFastFirst {
 		r.tactic = tacticFastFirst
 		borrow := &ridQueue{}
-		r.bg = newUscan(q, o.cfg, model, legs, borrow, r.trc)
-		r.fg = newBorrowFetcher(q, borrow, r.out, o.cfg.FgBufferCap)
+		r.bg = newUscan(ec, q, o.cfg, model, legs, borrow, r.trc)
+		r.fg = newBorrowFetcher(ec, q, borrow, r.out, o.cfg.FgBufferCap)
 		r.trc.emit(TraceEvent{
 			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Uscan", Indexes: names,
 			EstimatedIO: unionEst, Detail: fmt.Sprintf("fast-first over a %d-leg union", len(legs)),
@@ -179,7 +198,7 @@ func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model est
 		return
 	}
 	r.tactic = tacticBackgroundOnly
-	r.bg = newUscan(q, o.cfg, model, legs, nil, r.trc)
+	r.bg = newUscan(ec, q, o.cfg, model, legs, nil, r.trc)
 	r.trc.emit(TraceEvent{
 		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Uscan", Indexes: names,
 		EstimatedIO: unionEst, Detail: fmt.Sprintf("background-only union over %d disjunct legs", len(legs)),
@@ -188,13 +207,13 @@ func (o *Optimizer) planUnion(q *Query, legs []unionLeg, r *retrieval, model est
 
 // runSorted wraps a total-time retrieval in a SORT (the paper's goal
 // inference treats SORT as a total-time controller).
-func (o *Optimizer) runSorted(q *Query) (Rows, error) {
+func (o *Optimizer) runSorted(ec *ExecCtx, q *Query) (Rows, error) {
 	inner := *q
 	inner.OrderBy = nil
 	inner.Projection = nil
 	inner.Limit = 0
 	inner.Control = ControlSort
-	src, err := o.run(&inner)
+	src, err := o.run(ec, &inner)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +221,7 @@ func (o *Optimizer) runSorted(q *Query) (Rows, error) {
 	for {
 		row, ok, err := src.Next()
 		if err != nil {
+			src.Close()
 			return nil, err
 		}
 		if !ok {
@@ -281,9 +301,9 @@ func (o *Optimizer) observer(q *Query) func([]string) {
 }
 
 // planBackgroundOnly: total-time, fetch-needed indexes only.
-func (o *Optimizer) planBackgroundOnly(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
+func (o *Optimizer) planBackgroundOnly(ec *ExecCtx, q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
 	r.tactic = tacticBackgroundOnly
-	j := newJscan(q, o.cfg, model, res.Estimates, nil, r.trc)
+	j := newJscan(ec, q, o.cfg, model, res.Estimates, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
 	r.trc.emit(TraceEvent{
@@ -296,15 +316,15 @@ func (o *Optimizer) planBackgroundOnly(q *Query, res estimate.Result, r *retriev
 // planFastFirst: fast-first, fetch-needed indexes only. The background
 // Jscan feeds the foreground borrow fetcher; racing is disabled so the
 // borrow stream comes from a single stable first scan.
-func (o *Optimizer) planFastFirst(q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
+func (o *Optimizer) planFastFirst(ec *ExecCtx, q *Query, res estimate.Result, r *retrieval, model estimate.CostModel) {
 	r.tactic = tacticFastFirst
 	cfg := o.cfg
 	cfg.RaceFactor = -1
 	borrow := &ridQueue{}
-	j := newJscan(q, cfg, model, res.Estimates, borrow, r.trc)
+	j := newJscan(ec, q, cfg, model, res.Estimates, borrow, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
-	r.fg = newBorrowFetcher(q, borrow, r.out, cfg.FgBufferCap)
+	r.fg = newBorrowFetcher(ec, q, borrow, r.out, cfg.FgBufferCap)
 	r.trc.emit(TraceEvent{
 		Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Jscan", Indexes: estNames(res.Estimates),
 		EstimatedIO: bgPlanEst(model, res.Estimates[0]),
@@ -315,8 +335,8 @@ func (o *Optimizer) planFastFirst(q *Query, res estimate.Result, r *retrieval, m
 // planWithSelfSufficient: a self-sufficient index is available. With no
 // fetch-needed competition it is the statically clear Sscan; otherwise
 // the index-only tactic races the best Sscan against Jscan.
-func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res estimate.Result, r *retrieval) error {
-	best, bestCost, bestLo, bestHi, bestEmpty, err := o.bestSscan(q, cl.SelfSufficient)
+func (o *Optimizer) planWithSelfSufficient(ec *ExecCtx, q *Query, cl Classification, res estimate.Result, r *retrieval) error {
+	best, bestCost, bestLo, bestHi, bestEmpty, err := o.bestSscan(ec, q, cl.SelfSufficient)
 	if err != nil {
 		return err
 	}
@@ -326,7 +346,7 @@ func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res esti
 		r.closed = true
 		return nil
 	}
-	fg, err := newSscan(q, best, bestLo, bestHi, r.out, o.cfg.StepEntries, false)
+	fg, err := newSscan(ec, q, best, bestLo, bestHi, r.out, o.cfg.StepEntries, false)
 	if err != nil {
 		return err
 	}
@@ -341,7 +361,7 @@ func (o *Optimizer) planWithSelfSufficient(q *Query, cl Classification, res esti
 		return nil
 	}
 	r.tactic = tacticIndexOnly
-	j := newJscan(q, o.cfg, r.model, res.Estimates, nil, r.trc)
+	j := newJscan(ec, q, o.cfg, r.model, res.Estimates, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
 	r.trc.emit(TraceEvent{
@@ -372,14 +392,15 @@ func bgPlanEst(model estimate.CostModel, e estimate.IndexEstimate) float64 {
 
 // bestSscan picks the cheapest self-sufficient index by estimated scan
 // cost over its restriction bounds.
-func (o *Optimizer) bestSscan(q *Query, cands []*catalog.Index) (best *catalog.Index, bestCost float64, bestLo, bestHi []byte, empty bool, err error) {
+func (o *Optimizer) bestSscan(ec *ExecCtx, q *Query, cands []*catalog.Index) (best *catalog.Index, bestCost float64, bestLo, bestHi []byte, empty bool, err error) {
 	bestCost = math.Inf(1)
+	tr := storage.NewTracker(ec.Governor())
 	for _, ix := range cands {
 		lo, hi, _, emptyRg := ix.RestrictionBounds(q.Restriction, q.Binds)
 		if emptyRg {
 			return ix, 0, nil, nil, true, nil
 		}
-		rids, _, err := ix.Tree.EstimateRangeRefined(lo, hi)
+		rids, _, err := ix.Tree.EstimateRangeRefinedTracked(lo, hi, tr)
 		if err != nil {
 			return nil, 0, nil, nil, false, err
 		}
@@ -404,7 +425,7 @@ func (o *Optimizer) bestSscan(q *Query, cands []*catalog.Index) (best *catalog.I
 // sequential scan and takes the cheaper estimate — an ordered Fscan
 // over a wide range costs one random fetch per row, which loses badly
 // to sort(Tscan).
-func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result, r *retrieval) (Rows, error) {
+func (o *Optimizer) planOrdered(ec *ExecCtx, q *Query, cl Classification, res estimate.Result, r *retrieval) (Rows, error) {
 	// Prefer an order-needed index that is also self-sufficient.
 	for _, ix := range cl.OrderNeeded {
 		if ix.Covers(q.neededColumns()) {
@@ -417,7 +438,7 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 				r.closed = true
 				return nil, nil
 			}
-			fg, err := newSscan(q, ix, lo, hi, r.out, o.cfg.StepEntries, q.OrderDesc)
+			fg, err := newSscan(ec, q, ix, lo, hi, r.out, o.cfg.StepEntries, q.OrderDesc)
 			if err != nil {
 				return nil, err
 			}
@@ -440,17 +461,17 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 	}
 	var fscanEst float64
 	if q.EffectiveGoal() != GoalFastFirst {
-		rids, _, err := ordIx.Tree.EstimateRangeRefined(ordLo, ordHi)
+		rids, _, err := ordIx.Tree.EstimateRangeRefinedTracked(ordLo, ordHi, storage.NewTracker(ec.Governor()))
 		if err != nil {
 			return nil, err
 		}
 		fscanEst = r.model.FscanCost(rids, ordIx.Tree.AvgLeafEntries(), ordIx.Tree.Height())
 		if fscanEst > r.model.TscanCost() {
 			// Ordered Fscan loses to materialize-and-sort: delegate.
-			return o.runSorted(q)
+			return o.runSorted(ec, q)
 		}
 	}
-	fg, err := newFscan(q, ordIx, ordLo, ordHi, r.out, o.cfg.StepEntries, q.OrderDesc)
+	fg, err := newFscan(ec, q, ordIx, ordLo, ordHi, r.out, o.cfg.StepEntries, q.OrderDesc)
 	if err != nil {
 		return nil, err
 	}
@@ -476,7 +497,7 @@ func (o *Optimizer) planOrdered(q *Query, cl Classification, res estimate.Result
 	// spill, the bitmap absorbs overflow (Section 7, sorted tactic).
 	cfg := o.cfg
 	cfg.RID.FilterOnly = true
-	j := newJscan(q, cfg, r.model, others, nil, r.trc)
+	j := newJscan(ec, q, cfg, r.model, others, nil, r.trc)
 	j.onDone = o.observer(q)
 	r.bg = j
 	r.trc.emit(TraceEvent{

@@ -19,17 +19,26 @@ type stepper interface {
 	cost() float64
 	// name identifies the scan for traces.
 	name() string
+	// release frees resources held across steps — open cursors and
+	// their buffer-pool pins, spilled RID containers. It must be
+	// idempotent and safe at any point of the scan's life; cancellation
+	// unwinds through it.
+	release()
 }
 
 // meter attributes buffer-pool I/O to one scan through a per-scan
 // Tracker. The tracked storage accessors charge the tracker directly,
 // so attribution stays exact even while concurrent queries drive the
 // same pool (global-snapshot differencing would not).
+//
+// The tracker carries the query's governor (from the ExecCtx), which is
+// how the execution context reaches the buffer pool's cancellation
+// checkpoint through every scan of the query.
 type meter struct {
 	tr *storage.Tracker
 }
 
-func newMeter() meter { return meter{tr: new(storage.Tracker)} }
+func newMeter(ec *ExecCtx) meter { return meter{tr: storage.NewTracker(ec.Governor())} }
 
 func (m *meter) cost() float64       { return float64(m.tr.IOCost()) }
 func (m *meter) total() int64        { return m.tr.IOCost() }
@@ -38,6 +47,9 @@ func (m *meter) io() storage.IOStats { return m.tr.Stats() }
 // entryCursor is the common face of forward and reverse index cursors.
 type entryCursor interface {
 	Next() (key []byte, rid storage.RID, ok bool, err error)
+	// Close releases the cursor's leaf pin; required when abandoning
+	// the cursor before exhaustion.
+	Close()
 }
 
 // newEntryCursor opens a cursor over [lo, hi) in the requested
@@ -91,13 +103,13 @@ type tscan struct {
 	done    bool
 }
 
-func newTscan(q *Query, out *rowQueue) *tscan {
+func newTscan(ec *ExecCtx, q *Query, out *rowQueue) *tscan {
 	pages := q.Table.Pages()
 	rpp := 1
 	if pages > 0 {
 		rpp = int(q.Table.Cardinality())/pages + 1
 	}
-	m := newMeter()
+	m := newMeter(ec)
 	return &tscan{
 		q:   q,
 		cur: q.Table.Heap.CursorTracked(m.tr),
@@ -109,6 +121,7 @@ func newTscan(q *Query, out *rowQueue) *tscan {
 
 func (t *tscan) name() string  { return "Tscan" }
 func (t *tscan) cost() float64 { return t.m.cost() }
+func (t *tscan) release()      { t.cur.Close() }
 
 func (t *tscan) step() (bool, error) {
 	if t.done {
@@ -159,8 +172,8 @@ type sscan struct {
 	done      bool
 }
 
-func newSscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*sscan, error) {
-	m := newMeter()
+func newSscan(ec *ExecCtx, q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*sscan, error) {
+	m := newMeter(ec)
 	cur, err := newEntryCursor(ix.Tree, lo, hi, desc, m.tr)
 	if err != nil {
 		return nil, err
@@ -177,6 +190,7 @@ func newSscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep
 
 func (s *sscan) name() string  { return "Sscan(" + s.ix.Name + ")" }
 func (s *sscan) cost() float64 { return s.m.cost() }
+func (s *sscan) release()      { s.cur.Close() }
 
 func (s *sscan) step() (bool, error) {
 	if s.done {
@@ -241,8 +255,8 @@ func localRestriction(e expr.Expr, ix *catalog.Index) expr.Expr {
 	return expr.NewAnd(local...)
 }
 
-func newFscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*fscan, error) {
-	m := newMeter()
+func newFscan(ec *ExecCtx, q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep int, desc bool) (*fscan, error) {
+	m := newMeter(ec)
 	cur, err := newEntryCursor(ix.Tree, lo, hi, desc, m.tr)
 	if err != nil {
 		return nil, err
@@ -260,6 +274,7 @@ func newFscan(q *Query, ix *catalog.Index, lo, hi []byte, out *rowQueue, perStep
 
 func (f *fscan) name() string  { return "Fscan(" + f.ix.Name + ")" }
 func (f *fscan) cost() float64 { return f.m.cost() }
+func (f *fscan) release()      { f.cur.Close() }
 
 // setFilter installs a pre-fetch RID filter (sorted tactic: the Jscan
 // filter arrives while the Fscan is already running).
@@ -330,7 +345,7 @@ type borrowFetcher struct {
 	done      bool
 }
 
-func newBorrowFetcher(q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borrowFetcher {
+func newBorrowFetcher(ec *ExecCtx, q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borrowFetcher {
 	// capRIDs == 0 means "the documented default", never "overflow
 	// after the first delivered row"; a negative cap means unbounded.
 	if capRIDs == 0 {
@@ -340,13 +355,14 @@ func newBorrowFetcher(q *Query, in *ridQueue, out *rowQueue, capRIDs int) *borro
 		q:       q,
 		in:      in,
 		out:     out,
-		m:       newMeter(),
+		m:       newMeter(ec),
 		capRIDs: capRIDs,
 	}
 }
 
 func (b *borrowFetcher) name() string  { return "Fgr(borrow)" }
 func (b *borrowFetcher) cost() float64 { return b.m.cost() }
+func (b *borrowFetcher) release()      {} // fetches page-at-a-time; nothing held
 
 func (b *borrowFetcher) step() (bool, error) {
 	if b.done {

@@ -82,6 +82,11 @@ type retrieval struct {
 	tactic tacticKind
 	model  estimate.CostModel
 	st     RetrievalStats
+	// ec is the per-query execution context (nil = free). Its governor
+	// rides inside every scan's tracker, so cancellation surfaces as
+	// errors from the buffer pool; Next additionally checks it between
+	// rounds so a cancelled query stops even while popping queued rows.
+	ec *ExecCtx
 	// trc stamps and fans out this retrieval's trace events; metrics is
 	// the optimizer's shared registry (nil for fixed plans).
 	trc     *tracer
@@ -109,8 +114,67 @@ type retrieval struct {
 	bgStopped  bool
 	finDone    bool
 	closed     bool
+	released   bool
 	statsFinal bool
 	err        error
+}
+
+// release frees every stage's held resources (cursor pins, spilled
+// containers), live and retired. Idempotent.
+func (r *retrieval) release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for _, s := range r.steppers() {
+		s.release()
+	}
+}
+
+// fail latches err as the retrieval's terminal error and unwinds: for an
+// execution-context cancellation it emits the scan-abandoned events for
+// still-live stages plus one query-cancelled event and records the
+// cancellation metric (once per ExecCtx); for any error it releases all
+// held resources and finalizes the stats. Returns err for convenience.
+func (r *retrieval) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	if isCancellation(err) {
+		if r.fg != nil && !r.fgDone && !r.fgTerminated {
+			r.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Tactic: r.tactic.String(), Scan: r.fg.name(),
+				ActualIO: r.fg.cost(), Detail: "unwound by execution context",
+			})
+		}
+		if r.bg != nil && !r.bgDone {
+			r.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Tactic: r.tactic.String(), Scan: r.bg.name(),
+				Indexes: r.bg.bgNames(), ActualIO: r.bg.cost(), Detail: "unwound by execution context",
+			})
+		}
+		if r.fin != nil && !r.finDone {
+			r.trc.emit(TraceEvent{
+				Kind: EvScanAbandoned, Tactic: r.tactic.String(), Scan: r.fin.name(),
+				ActualIO: r.fin.cost(), Detail: "unwound by execution context",
+			})
+		}
+		var io float64
+		for _, s := range r.steppers() {
+			io += s.cost()
+		}
+		r.trc.emit(TraceEvent{
+			Kind: EvQueryCancelled, Tactic: r.tactic.String(), ActualIO: io,
+			Detail: err.Error(),
+		})
+		if r.metrics != nil && r.ec.markCancelRecorded() {
+			r.metrics.recordCancellation(err)
+		}
+	}
+	r.closed = true
+	r.release()
+	r.finalizeStats()
+	return err
 }
 
 // replaceFg swaps the foreground stepper, retiring the old one.
@@ -131,6 +195,7 @@ func (r *retrieval) Stats() RetrievalStats {
 
 func (r *retrieval) Close() error {
 	r.closed = true
+	r.release()
 	r.finalizeStats()
 	return nil
 }
@@ -139,8 +204,14 @@ func (r *retrieval) Next() (expr.Row, bool, error) {
 	if r.err != nil {
 		return nil, false, r.err
 	}
+	if err := r.ec.Err(); err != nil {
+		// The context tripped between calls (or before the first):
+		// unwind before doing any work.
+		return nil, false, r.fail(err)
+	}
 	for {
 		if r.closed {
+			r.release()
 			r.finalizeStats()
 			return nil, false, nil
 		}
@@ -158,11 +229,11 @@ func (r *retrieval) Next() (expr.Row, bool, error) {
 		}
 		done, err := r.advance()
 		if err != nil {
-			r.err = err
-			return nil, false, err
+			return nil, false, r.fail(err)
 		}
 		if done && r.out.empty() {
 			r.closed = true
+			r.release()
 			r.finalizeStats()
 			return nil, false, nil
 		}
@@ -265,7 +336,7 @@ func (r *retrieval) onBgDone() error {
 				Indexes: r.bg.bgNames(), EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 				Detail: "background recommends Tscan, switching",
 			})
-			r.replaceFg(newTscan(r.q, r.out))
+			r.replaceFg(newTscan(r.ec, r.q, r.out))
 			return nil
 		}
 		return r.enterFinal(nil)
@@ -306,7 +377,7 @@ func (r *retrieval) bgResolveFastFirst() error {
 			EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 			Detail: "background recommends Tscan for the remainder",
 		})
-		ts := newTscan(r.q, r.out)
+		ts := newTscan(r.ec, r.q, r.out)
 		if len(delivered) > 0 {
 			ts.exclude = rid.NewSortedList(delivered)
 		}
@@ -404,7 +475,7 @@ func (r *retrieval) control() error {
 
 // enterFinal switches the retrieval into its final stage.
 func (r *retrieval) enterFinal(delivered []storage.RID) error {
-	fin, err := newFinalStage(r.q, r.bg.bgComplete(), delivered, r.out)
+	fin, err := newFinalStage(r.ec, r.q, r.bg.bgComplete(), delivered, r.out)
 	if err != nil {
 		return err
 	}
@@ -479,7 +550,10 @@ func (r *retrieval) finalizeStats() {
 	}
 	r.st.IO = io
 	r.st.Strategy = strings.Join(parts, "+")
-	if r.metrics != nil {
+	// A cancelled retrieval is not a tactic win, and its truncated I/O
+	// would pollute the estimate-error histogram; it is counted by the
+	// cancellation counters instead.
+	if r.metrics != nil && !(r.err != nil && isCancellation(r.err)) {
 		r.metrics.recordRetrieval(r.tactic, &r.st)
 	}
 }

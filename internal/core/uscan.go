@@ -137,8 +137,8 @@ func localDisjunct(d expr.Expr, ix *catalog.Index) expr.Expr {
 	return nil
 }
 
-func newUscan(q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, trc *tracer) *uscan {
-	m := newMeter()
+func newUscan(ec *ExecCtx, q *Query, cfg Config, model estimate.CostModel, legs []unionLeg, borrow *ridQueue, trc *tracer) *uscan {
+	m := newMeter(ec)
 	u := &uscan{
 		q:            q,
 		cfg:          cfg,
@@ -169,6 +169,10 @@ func (u *uscan) bgNames() []string          { return u.names }
 func (u *uscan) bgRecommendTscan() bool     { return u.recommendTscan }
 
 func (u *uscan) bgKill() {
+	if u.cur != nil {
+		u.cur.Close()
+		u.cur = nil
+	}
 	if u.list != nil {
 		u.list.Discard()
 		u.list = nil
@@ -176,6 +180,9 @@ func (u *uscan) bgKill() {
 	u.closeBorrow()
 	u.done = true
 }
+
+// release implements stepper cleanup; cancellation unwinds through it.
+func (u *uscan) release() { u.bgKill() }
 
 func (u *uscan) closeBorrow() {
 	if u.borrowActive {
@@ -280,6 +287,10 @@ func (u *uscan) finish() {
 }
 
 func (u *uscan) abandon() {
+	if u.cur != nil {
+		u.cur.Close()
+		u.cur = nil
+	}
 	u.list.Discard()
 	u.list = nil
 	u.recommendTscan = true

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control failures. Both are fast rejections: the caller
+// learns at once that the engine will not run the query, instead of
+// queueing unboundedly behind saturated slots.
+var (
+	// ErrAdmissionQueueFull is returned when all execution slots are
+	// taken and the wait queue is at its configured depth.
+	ErrAdmissionQueueFull = errors.New("engine: admission queue full")
+	// ErrAdmissionTimeout is returned when a queued query waited the
+	// configured AdmissionTimeout without a slot freeing up.
+	ErrAdmissionTimeout = errors.New("engine: admission wait timed out")
+)
+
+// admission is the engine's concurrency governor: a semaphore of
+// execution slots plus a bounded wait queue. A nil *admission (the
+// default: Options.MaxConcurrentQueries == 0) admits everything
+// immediately, so unconfigured databases behave exactly as before.
+type admission struct {
+	slots    chan struct{} // buffered; one token per in-flight query
+	queueCap int
+	timeout  time.Duration
+	waiting  atomic.Int64
+	inFlight atomic.Int64
+}
+
+func newAdmission(maxInFlight, queueDepth int, timeout time.Duration) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		queueCap: queueDepth,
+		timeout:  timeout,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It returns a release function that must be called
+// exactly once when the query finishes; calling it more than once is
+// safe (subsequent calls are no-ops), so Result.Close can stay
+// idempotent.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaser(), nil
+	default:
+	}
+	// Saturated: join the wait queue if it has room, else reject at
+	// once. The CAS loop keeps the waiter count exact under racing
+	// arrivals.
+	for {
+		w := a.waiting.Load()
+		if int(w) >= a.queueCap {
+			return nil, ErrAdmissionQueueFull
+		}
+		if a.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	defer a.waiting.Add(-1)
+	var timeoutC <-chan time.Time
+	if a.timeout > 0 {
+		t := time.NewTimer(a.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaser(), nil
+	case <-timeoutC:
+		return nil, ErrAdmissionTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// releaser records the admission and returns the once-only slot
+// release.
+func (a *admission) releaser() func() {
+	a.inFlight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inFlight.Add(-1)
+			<-a.slots
+		})
+	}
+}
+
+// InFlight reports how many queries currently hold execution slots.
+func (a *admission) InFlight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inFlight.Load()
+}

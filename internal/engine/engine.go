@@ -29,7 +29,10 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/core"
@@ -55,14 +58,29 @@ type Options struct {
 	PoolShards int
 	// Optimizer tunes the dynamic optimizer (zero value = defaults).
 	Optimizer core.Config
+	// MaxConcurrentQueries caps how many queries may execute at once
+	// (0 = unlimited, the historical behavior). Excess arrivals wait in
+	// a bounded queue and are rejected fast when it overflows.
+	MaxConcurrentQueries int
+	// AdmissionQueueDepth bounds how many queries may wait for an
+	// execution slot when MaxConcurrentQueries is saturated. A query
+	// arriving with the queue full fails immediately with
+	// ErrAdmissionQueueFull. 0 = no waiting: reject as soon as all
+	// slots are taken.
+	AdmissionQueueDepth int
+	// AdmissionTimeout bounds how long a queued query waits for a slot
+	// before failing with ErrAdmissionTimeout. 0 = wait until the
+	// query's context is done.
+	AdmissionTimeout time.Duration
 }
 
 // DB is an embedded database instance.
 type DB struct {
-	disk *storage.Disk
-	pool *storage.BufferPool
-	cat  *catalog.Catalog
-	opt  *core.Optimizer
+	disk  *storage.Disk
+	pool  *storage.BufferPool
+	cat   *catalog.Catalog
+	opt   *core.Optimizer
+	admit *admission
 }
 
 // Open creates an empty database.
@@ -78,11 +96,31 @@ func Open(opts Options) *DB {
 	// optimizer (core.Config.WithDefaults), so a caller tuning one knob
 	// keeps the paper defaults for every other.
 	return &DB{
-		disk: disk,
-		pool: pool,
-		cat:  catalog.New(pool),
-		opt:  core.NewOptimizer(opts.Optimizer),
+		disk:  disk,
+		pool:  pool,
+		cat:   catalog.New(pool),
+		opt:   core.NewOptimizer(opts.Optimizer),
+		admit: newAdmission(opts.MaxConcurrentQueries, opts.AdmissionQueueDepth, opts.AdmissionTimeout),
 	}
+}
+
+// InFlightQueries reports how many queries currently hold admission
+// slots (always 0 when MaxConcurrentQueries is unset).
+func (db *DB) InFlightQueries() int64 { return db.admit.InFlight() }
+
+// admitQuery claims an admission slot for ctx, recording fast
+// rejections (queue full, admission timeout) in the metrics. Context
+// cancellation while queued is a cancellation, not an admission
+// rejection.
+func (db *DB) admitQuery(ctx context.Context) (func(), error) {
+	release, err := db.admit.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrAdmissionQueueFull) || errors.Is(err, ErrAdmissionTimeout) {
+			db.opt.Metrics().RecordAdmissionRejected()
+		}
+		return nil, err
+	}
+	return release, nil
 }
 
 // Catalog exposes the schema registry.
@@ -181,11 +219,17 @@ type Stmt struct {
 
 // Prepare parses and compiles a statement.
 func (db *DB) Prepare(src string) (*Stmt, error) {
-	stmt, err := sql.Parse(src)
+	return db.PrepareContext(context.Background(), src)
+}
+
+// PrepareContext is Prepare honoring ctx: an already-cancelled or
+// expired context fails before any parse or compile work.
+func (db *DB) PrepareContext(ctx context.Context, src string) (*Stmt, error) {
+	stmt, err := sql.ParseContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	c, err := sql.Compile(db.cat, stmt)
+	c, err := sql.CompileContext(ctx, db.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -203,17 +247,45 @@ func (s *Stmt) CoreQuery() *core.Query {
 // optimizer. EXPLAIN statements return the plan description instead of
 // data rows.
 func (s *Stmt) Query(binds Binds) (*Result, error) {
+	return s.QueryContext(context.Background(), binds)
+}
+
+// QueryContext is Query under an execution context: cancellation and
+// deadline stop the retrieval within one simulated page I/O (the error
+// surfaces from Result.Next), a core.WithIOBudget budget carried by
+// ctx bounds the query's attributed I/O, and the admission governor
+// (Options.MaxConcurrentQueries) gates the start. The admission slot
+// is held until Result.Close.
+func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 	bb, err := binds.toBindings()
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.db.admitQuery(ctx)
 	if err != nil {
 		return nil, err
 	}
 	q := *s.compiled.Query
 	q.Binds = bb
+	ec := core.NewExecCtx(ctx, 0)
 	if s.compiled.Explain {
-		return s.explain(&q, s.compiled.Analyze)
+		res, err := s.explain(ec, &q, s.compiled.Analyze)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		res.release = release
+		return res, nil
 	}
-	rows := s.db.opt.Run(&q)
-	return newResult(s.db, s.compiled, rows)
+	rows := s.db.opt.RunExec(ec, &q)
+	res, err := newResult(s.db, s.compiled, rows)
+	if err != nil {
+		rows.Close()
+		release()
+		return nil, err
+	}
+	res.release = release
+	return res, nil
 }
 
 // explain plans the retrieval with the current bindings and reports the
@@ -223,8 +295,8 @@ func (s *Stmt) Query(binds Binds) (*Result, error) {
 // ANALYZE drains it to completion first, so the rows also show what
 // actually happened (winning strategy, rows delivered, attributed I/O)
 // and the event stream covers the whole competition.
-func (s *Stmt) explain(q *core.Query, analyze bool) (*Result, error) {
-	rows := s.db.opt.Run(q)
+func (s *Stmt) explain(ec *core.ExecCtx, q *core.Query, analyze bool) (*Result, error) {
+	rows := s.db.opt.RunExec(ec, q)
 	var delivered int64
 	if analyze {
 		for {
@@ -308,23 +380,47 @@ type FrozenStmt struct {
 
 // Query runs the frozen plan with the given bindings.
 func (f *FrozenStmt) Query(binds Binds) (*Result, error) {
+	return f.QueryContext(context.Background(), binds)
+}
+
+// QueryContext runs the frozen plan under an execution context, with
+// the same cancellation, budget, and admission semantics as
+// Stmt.QueryContext.
+func (f *FrozenStmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 	bb, err := binds.toBindings()
+	if err != nil {
+		return nil, err
+	}
+	release, err := f.db.admitQuery(ctx)
 	if err != nil {
 		return nil, err
 	}
 	q := *f.compiled.Query
 	q.Binds = bb
-	rows := f.Plan.Execute(&q)
-	return newResult(f.db, f.compiled, rows)
+	rows := f.Plan.ExecuteExec(core.NewExecCtx(ctx, 0), &q)
+	res, err := newResult(f.db, f.compiled, rows)
+	if err != nil {
+		rows.Close()
+		release()
+		return nil, err
+	}
+	res.release = release
+	return res, nil
 }
 
 // Query is Prepare + Query in one call.
 func (db *DB) Query(src string, binds Binds) (*Result, error) {
-	stmt, err := db.Prepare(src)
+	return db.QueryContext(context.Background(), src, binds)
+}
+
+// QueryContext is Prepare + Query in one call, honoring ctx throughout
+// parse, compile, admission, and execution.
+func (db *DB) QueryContext(ctx context.Context, src string, binds Binds) (*Result, error) {
+	stmt, err := db.PrepareContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Query(binds)
+	return stmt.QueryContext(ctx, binds)
 }
 
 // Result iterates a statement's rows. For COUNT(*) statements the
@@ -340,6 +436,10 @@ type Result struct {
 	explain []expr.Row
 	expPos  int
 	expStat *core.RetrievalStats
+
+	release  func() // admission slot; nil when unadmitted
+	closed   bool
+	closeErr error
 }
 
 func newResult(db *DB, c *sql.Compiled, rows core.Rows) (*Result, error) {
@@ -421,12 +521,23 @@ func (r *Result) Next() (expr.Row, bool, error) {
 	return r.rows.Next()
 }
 
-// Close releases the retrieval.
+// Close releases the retrieval and the admission slot. It is
+// idempotent: every call after the first is a no-op returning the
+// first call's error, and the admission slot is released exactly once
+// no matter how many paths (All's error handling, deferred Close,
+// explicit Close) reach it.
 func (r *Result) Close() error {
-	if r.rows == nil {
-		return nil
+	if r.closed {
+		return r.closeErr
 	}
-	return r.rows.Close()
+	r.closed = true
+	if r.rows != nil {
+		r.closeErr = r.rows.Close()
+	}
+	if r.release != nil {
+		r.release()
+	}
+	return r.closeErr
 }
 
 // Stats reports what the executor did. For EXPLAIN results these are

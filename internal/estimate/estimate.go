@@ -70,6 +70,9 @@ type Options struct {
 	// order ("The freshly (and optimally) reordered indexes are used
 	// for the next retrieval estimates as a starting point").
 	PreviousOrder []string
+	// Governor, if non-nil, is the query's cancellation/budget
+	// authority: estimation descents charge it and abort once it trips.
+	Governor *storage.Governor
 }
 
 // DefaultOptions returns the standard initial-stage tuning.
@@ -100,7 +103,7 @@ func Appraise(indexes []*catalog.Index, restriction expr.Expr, binds expr.Bindin
 	ordered := reorder(indexes, opts.PreviousOrder)
 	var res Result
 	for _, ix := range ordered {
-		e, err := appraiseOne(ix, restriction, binds)
+		e, err := appraiseOne(ix, restriction, binds, opts.Governor)
 		if err != nil {
 			return Result{}, err
 		}
@@ -119,7 +122,7 @@ func Appraise(indexes []*catalog.Index, restriction expr.Expr, binds expr.Bindin
 	return res, nil
 }
 
-func appraiseOne(ix *catalog.Index, restriction expr.Expr, binds expr.Bindings) (IndexEstimate, error) {
+func appraiseOne(ix *catalog.Index, restriction expr.Expr, binds expr.Bindings, gov *storage.Governor) (IndexEstimate, error) {
 	e := IndexEstimate{Index: ix}
 	var empty bool
 	e.Lo, e.Hi, e.Sargable, empty = ix.RestrictionBounds(restriction, binds)
@@ -131,7 +134,7 @@ func appraiseOne(ix *catalog.Index, restriction expr.Expr, binds expr.Bindings) 
 	// boundaries, extrapolated occupancy in the interior. A private
 	// tracker attributes the descent's I/O to this appraisal even while
 	// other queries drive the shared pool.
-	tr := new(storage.Tracker)
+	tr := storage.NewTracker(gov)
 	rids, exact, err := ix.Tree.EstimateRangeRefinedTracked(e.Lo, e.Hi, tr)
 	if err != nil {
 		return e, err

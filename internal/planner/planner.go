@@ -51,6 +51,13 @@ func (p *Plan) Execute(q *core.Query) core.Rows {
 	return core.RunFixed(q, p.Strategy, core.DefaultConfig())
 }
 
+// ExecuteExec runs the frozen plan under an execution context:
+// cancellation, deadline, and I/O budget unwind the retrieval exactly
+// as they do a dynamic one (nil ec = free).
+func (p *Plan) ExecuteExec(ec *core.ExecCtx, q *core.Query) core.Rows {
+	return core.RunFixedExec(ec, q, p.Strategy, core.DefaultConfig())
+}
+
 // Prepare chooses a plan with compile-time default selectivities (host
 // variables unknown).
 func Prepare(q *core.Query) (*Plan, error) {

@@ -1,0 +1,25 @@
+package sql
+
+import (
+	"context"
+
+	"rdbdyn/internal/catalog"
+)
+
+// ParseContext is Parse honoring ctx: a cancelled or expired context
+// fails before any lexing work. Parsing itself is pure CPU over a
+// short string, so no further checkpoints are needed.
+func ParseContext(ctx context.Context, src string) (*SelectStmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Parse(src)
+}
+
+// CompileContext is Compile honoring ctx the same way.
+func CompileContext(ctx context.Context, cat *catalog.Catalog, stmt *SelectStmt) (*Compiled, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Compile(cat, stmt)
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBudgetExceeded is returned once a query has consumed its per-query
+// simulated-I/O budget. It surfaces from Rows.Next exactly like a
+// context error; core re-exports it as core.ErrBudgetExceeded.
+var ErrBudgetExceeded = errors.New("storage: per-query simulated I/O budget exceeded")
+
+// Governor is the per-query cooperative cancellation authority. It
+// bundles the caller's context with an optional simulated-I/O budget and
+// is consulted by the buffer pool before every page access (hit or
+// miss), which makes a page fetch the cancellation granularity: a
+// cancelled query stops within one simulated page I/O.
+//
+// A Governor is shared by every Tracker of one query (foreground scan,
+// background scan, final stage, borrow fetcher), so the budget covers
+// the query's total attributed I/O, not any single leg's.
+//
+// All methods are nil-safe: a nil *Governor never cancels and never
+// charges, so ungoverned call sites (the seed experiments, DML, index
+// builds) pay only a nil check and stay byte-identical in cost.
+type Governor struct {
+	ctx    context.Context
+	budget int64 // simulated I/Os allowed; <= 0 = unlimited
+	spent  atomic.Int64
+}
+
+// NewGovernor builds a governor for ctx with the given simulated-I/O
+// budget (<= 0 = unlimited). It returns nil — the free, never-cancelling
+// governor — when ctx can never be cancelled and no budget is set, so
+// legacy paths keep their zero-overhead fast path.
+func NewGovernor(ctx context.Context, budget int64) *Governor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() == nil && budget <= 0 {
+		return nil
+	}
+	return &Governor{ctx: ctx, budget: budget}
+}
+
+// Context returns the governed context (context.Background for nil).
+func (g *Governor) Context() context.Context {
+	if g == nil || g.ctx == nil {
+		return context.Background()
+	}
+	return g.ctx
+}
+
+// Err reports why the query must stop, or nil to continue: the context's
+// error (context.Canceled / context.DeadlineExceeded) takes priority,
+// then ErrBudgetExceeded once the I/O budget is spent.
+func (g *Governor) Err() error {
+	if g == nil {
+		return nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	if g.budget > 0 && g.spent.Load() >= g.budget {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// charge records n simulated I/Os against the budget.
+func (g *Governor) charge(n int64) {
+	if g != nil {
+		g.spent.Add(n)
+	}
+}
+
+// Spent returns the simulated I/Os charged so far.
+func (g *Governor) Spent() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spent.Load()
+}
+
+// Budget returns the configured budget (<= 0 = unlimited).
+func (g *Governor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}

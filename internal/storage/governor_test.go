@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// newGovPool builds a small unbounded pool with n allocated pages and
+// returns it with the page IDs, flushed clean and evicted so the first
+// access to each page is a genuine miss.
+func newGovPool(t *testing.T, n int) (*BufferPool, []PageID) {
+	t.Helper()
+	pool := NewBufferPool(NewDisk(512), 0)
+	file := pool.Disk().CreateFile()
+	ids := make([]PageID, n)
+	for i := range ids {
+		p, err := pool.NewPage(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = p.ID
+	}
+	pool.EvictAll()
+	pool.ResetStats()
+	return pool, ids
+}
+
+// TestGovernorNilFastPath: an uncancellable context with no budget must
+// collapse to the nil governor, and every method on it must be safe.
+func TestGovernorNilFastPath(t *testing.T) {
+	g := NewGovernor(context.Background(), 0)
+	if g != nil {
+		t.Fatalf("background ctx + no budget should yield the nil governor, got %+v", g)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("nil governor Err = %v", err)
+	}
+	if g.Context() != context.Background() {
+		t.Fatal("nil governor Context should be context.Background")
+	}
+	g.charge(5)
+	if g.Spent() != 0 || g.Budget() != 0 {
+		t.Fatalf("nil governor accounting: spent=%d budget=%d", g.Spent(), g.Budget())
+	}
+	// A nil ctx is normalized rather than dereferenced.
+	if NewGovernor(nil, 0) != nil {
+		t.Fatal("NewGovernor(nil, 0) should be the nil governor")
+	}
+	if NewGovernor(nil, 1) == nil {
+		t.Fatal("a budget alone must produce a live governor")
+	}
+}
+
+// TestGovernorBudgetBoundary charges a budget-3 governor through pool
+// misses: Err stays nil through the third I/O and flips to
+// ErrBudgetExceeded on the next checkpoint — and pool hits charge
+// nothing.
+func TestGovernorBudgetBoundary(t *testing.T) {
+	pool, ids := newGovPool(t, 8)
+	gov := NewGovernor(context.Background(), 3)
+	trk := NewTracker(gov)
+	for i := 0; i < 3; i++ {
+		if _, err := pool.GetTracked(ids[i], trk); err != nil {
+			t.Fatalf("miss %d within budget: %v", i, err)
+		}
+	}
+	if gov.Spent() != 3 {
+		t.Fatalf("Spent = %d, want 3", gov.Spent())
+	}
+	// The budget is now exactly spent: hits would be free, but the
+	// checkpoint fires before the shard lookup, so any access refuses.
+	if _, err := pool.GetTracked(ids[0], trk); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("access past budget err = %v, want ErrBudgetExceeded", err)
+	}
+	if gov.Spent() != 3 {
+		t.Fatalf("refused access still charged: spent=%d", gov.Spent())
+	}
+	// Hits below the budget are free: a fresh budget-2 governor can hit
+	// a resident page arbitrarily often after one miss.
+	pool2, ids2 := newGovPool(t, 2)
+	trk2 := NewTracker(NewGovernor(context.Background(), 2))
+	if _, err := pool2.GetTracked(ids2[0], trk2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := pool2.GetTracked(ids2[0], trk2); err != nil {
+			t.Fatalf("hit %d charged the budget: %v", i, err)
+		}
+	}
+	if got := trk2.IOCost(); got != 1 {
+		t.Fatalf("IOCost = %d, want 1 (one miss, hits free)", got)
+	}
+}
+
+// TestGovernorContextPriority: once the context is cancelled, Err
+// reports the context error even if the budget is also exhausted.
+func TestGovernorContextPriority(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	gov := NewGovernor(ctx, 1)
+	gov.charge(5)
+	if err := gov.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("pre-cancel Err = %v, want ErrBudgetExceeded", err)
+	}
+	cancel()
+	if err := gov.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Err = %v, want context.Canceled (context outranks budget)", err)
+	}
+}
+
+// TestTrackerNilGovernor: a tracker without a governor meters I/O but
+// never refuses, and a nil tracker is safe at the pool chokepoint.
+func TestTrackerNilGovernor(t *testing.T) {
+	pool, ids := newGovPool(t, 4)
+	trk := NewTracker(nil)
+	for i := 0; i < 4; i++ {
+		if _, err := pool.GetTracked(ids[i], trk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if trk.IOCost() != 4 {
+		t.Fatalf("IOCost = %d, want 4", trk.IOCost())
+	}
+	if err := trk.Err(); err != nil {
+		t.Fatalf("ungoverned tracker Err = %v", err)
+	}
+	if _, err := pool.GetTracked(ids[0], nil); err != nil {
+		t.Fatalf("nil tracker: %v", err)
+	}
+}
+
+// TestPinAccounting exercises the pin ledger: nested pins, idempotent
+// unpin, and eviction neutrality (pins are leak-detection accounting,
+// not residency locks — evicting a pinned page must not disturb the
+// ledger, and pinning must not disturb eviction).
+func TestPinAccounting(t *testing.T) {
+	pool, ids := newGovPool(t, 4)
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("fresh pool reports %d pins", n)
+	}
+	pool.Pin(ids[0])
+	pool.Pin(ids[0]) // nested
+	pool.Pin(ids[1])
+	if n := pool.PinnedPages(); n != 3 {
+		t.Fatalf("PinnedPages = %d, want 3", n)
+	}
+	pool.Unpin(ids[0])
+	if n := pool.PinnedPages(); n != 2 {
+		t.Fatalf("after one unpin PinnedPages = %d, want 2", n)
+	}
+	// Unpinning a page that holds no pin is a no-op, so release paths
+	// can be idempotent.
+	pool.Unpin(ids[2])
+	pool.Unpin(ids[2])
+	if n := pool.PinnedPages(); n != 2 {
+		t.Fatalf("no-op unpin changed the ledger: %d", n)
+	}
+	// Eviction neutrality: emptying the pool neither consults nor
+	// clears pins.
+	pool.EvictAll()
+	if n := pool.Resident(); n != 0 {
+		t.Fatalf("EvictAll left %d resident pages despite pins", n)
+	}
+	if n := pool.PinnedPages(); n != 2 {
+		t.Fatalf("eviction disturbed the pin ledger: %d", n)
+	}
+	pool.Unpin(ids[0])
+	pool.Unpin(ids[1])
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("ledger does not drain to zero: %d", n)
+	}
+}

@@ -104,13 +104,16 @@ func (h *HeapFile) CursorTracked(tr *Tracker) *HeapCursor {
 	return &HeapCursor{heap: h, page: 0, slot: -1, tr: tr}
 }
 
-// HeapCursor iterates records in physical (page, slot) order.
+// HeapCursor iterates records in physical (page, slot) order. It pins
+// its current page and unpins it on page transitions, exhaustion, or
+// Close; callers abandoning the cursor early must Close it.
 type HeapCursor struct {
-	heap *HeapFile
-	page PageNo
-	slot int
-	cur  *Page
-	tr   *Tracker
+	heap   *HeapFile
+	page   PageNo
+	slot   int
+	cur    *Page
+	pinned bool
+	tr     *Tracker
 }
 
 // Next advances to the next live record. It returns the record, its
@@ -123,7 +126,10 @@ func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
 			if err != nil {
 				return nil, RID{}, false, err
 			}
+			c.unpin()
 			c.cur = p
+			c.heap.pool.Pin(p.ID)
+			c.pinned = true
 		}
 		c.slot++
 		for c.slot < c.cur.NumSlots() {
@@ -136,7 +142,23 @@ func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
 		c.page++
 		c.slot = -1
 	}
+	c.unpin()
 	return nil, RID{}, false, nil
+}
+
+func (c *HeapCursor) unpin() {
+	if c.pinned {
+		c.heap.pool.Unpin(c.cur.ID)
+		c.pinned = false
+	}
+}
+
+// Close releases the cursor's page pin. Idempotent; an exhausted cursor
+// has already unpinned itself.
+func (c *HeapCursor) Close() {
+	c.unpin()
+	c.page = PageNo(c.heap.NumPages())
+	c.slot = -1
 }
 
 // PagesRemaining reports how many pages the cursor has not yet entered.

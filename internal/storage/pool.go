@@ -37,6 +37,7 @@ type BufferPool struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 	hits   atomic.Int64
+	pinned atomic.Int64
 
 	mask   uint64
 	shards []poolShard
@@ -47,7 +48,8 @@ type poolShard struct {
 	capacity int // frame budget of this shard (<= 0 = unbounded)
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
-	_        [40]byte   // pad to a cache line to avoid false sharing
+	pins     map[PageID]int
+	_        [40]byte // pad to a cache line to avoid false sharing
 }
 
 type frame struct {
@@ -106,6 +108,7 @@ func NewBufferPoolSharded(disk *Disk, capacity, shards int) *BufferPool {
 		}
 		s.frames = make(map[PageID]*list.Element)
 		s.lru = list.New()
+		s.pins = make(map[PageID]int)
 	}
 	return bp
 }
@@ -172,6 +175,13 @@ func (bp *BufferPool) GetDirtyTracked(id PageID, tr *Tracker) (*Page, error) {
 }
 
 func (bp *BufferPool) get(id PageID, tr *Tracker, dirty bool) (*Page, error) {
+	// Cooperative cancellation checkpoint: every page access — hit or
+	// miss — first asks the tracker's governor whether the query may
+	// continue. This bounds cancellation latency to one simulated page
+	// I/O without sprinkling ctx checks through every operator.
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
 	s := bp.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,6 +211,9 @@ func (bp *BufferPool) NewPage(file FileID) (*Page, error) { return bp.NewPageTra
 
 // NewPageTracked is NewPage charging any eviction write-back to tr.
 func (bp *BufferPool) NewPageTracked(file FileID, tr *Tracker) (*Page, error) {
+	if err := tr.Err(); err != nil {
+		return nil, err
+	}
 	p, err := bp.disk.AllocPage(file)
 	if err != nil {
 		return nil, err
@@ -279,6 +292,44 @@ func (bp *BufferPool) Resident() int {
 	}
 	return total
 }
+
+// Pin takes a reference on the page for a cursor that holds it across
+// calls. Pins are pure accounting for leak detection: the simulated disk
+// keeps every page addressable, so eviction of a pinned page is harmless
+// for correctness, and letting pins influence eviction would perturb the
+// LRU order (and therefore the simulated I/O counts) the experiments
+// depend on. Cancellation tests assert PinnedPages() == 0 after every
+// unwound query.
+func (bp *BufferPool) Pin(id PageID) {
+	s := bp.shard(id)
+	s.mu.Lock()
+	s.pins[id]++
+	s.mu.Unlock()
+	bp.pinned.Add(1)
+}
+
+// Unpin releases one reference taken by Pin. Unpinning a page that is
+// not pinned is a no-op, so release paths can be idempotent.
+func (bp *BufferPool) Unpin(id PageID) {
+	s := bp.shard(id)
+	s.mu.Lock()
+	n, ok := s.pins[id]
+	if ok {
+		if n <= 1 {
+			delete(s.pins, id)
+		} else {
+			s.pins[id] = n - 1
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		bp.pinned.Add(-1)
+	}
+}
+
+// PinnedPages returns the number of outstanding pin references across
+// all shards. Zero means no cursor is holding a page.
+func (bp *BufferPool) PinnedPages() int64 { return bp.pinned.Load() }
 
 // admit inserts page p into shard s, evicting the shard's LRU victim if
 // at capacity. Caller holds s.mu.

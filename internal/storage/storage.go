@@ -132,21 +132,53 @@ func (s IOStats) String() string {
 // All methods are safe for concurrent use, and all are safe on a nil
 // receiver (a nil tracker charges nothing), so untracked call sites pay
 // only a nil check.
+//
+// A tracker may carry a Governor (see NewTracker): every read and write
+// it records is also charged against the governor's per-query budget,
+// and the buffer pool consults Err before each page access, turning the
+// pool into the cooperative cancellation checkpoint.
 type Tracker struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 	hits   atomic.Int64
+	gov    *Governor
+}
+
+// NewTracker returns a tracker charging gov (which may be nil for an
+// ungoverned tracker, equivalent to new(Tracker)).
+func NewTracker(gov *Governor) *Tracker {
+	return &Tracker{gov: gov}
+}
+
+// Err reports why the tracked query must stop (context cancelled,
+// deadline expired, or I/O budget exhausted), or nil to continue. The
+// buffer pool calls it before every page access on behalf of the query.
+func (t *Tracker) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.gov.Err()
+}
+
+// Governor returns the tracker's governor (nil if ungoverned).
+func (t *Tracker) Governor() *Governor {
+	if t == nil {
+		return nil
+	}
+	return t.gov
 }
 
 func (t *Tracker) read() {
 	if t != nil {
 		t.reads.Add(1)
+		t.gov.charge(1)
 	}
 }
 
 func (t *Tracker) write() {
 	if t != nil {
 		t.writes.Add(1)
+		t.gov.charge(1)
 	}
 }
 
