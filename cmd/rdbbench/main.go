@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rdbdyn/internal/bench"
 )
@@ -26,7 +28,52 @@ func main() {
 	rows := flag.Int("rows", 0, "table size for retrieval experiments (0 = experiment default)")
 	parallel := flag.Int("parallel", 0, "run the parallel-throughput benchmark with this many goroutines and write BENCH_parallel.json")
 	queries := flag.Int("queries", 0, "total queries for -parallel (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchout := flag.String("benchout", "", "run the vectorized-pipeline microbenchmarks and write JSON results to this file (e.g. BENCH_pipeline.json)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	if *benchout != "" {
+		rep, err := bench.RunPipeline()
+		if err != nil {
+			fail(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*benchout, out, 0o644); err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
 
 	if *parallel > 0 {
 		res, err := bench.RunParallel(*parallel, *queries, *rows)

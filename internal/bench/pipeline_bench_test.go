@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// The acceptance pair for the vectorized RID pipeline: batched must
+// beat per-entry by >=2x ops/sec with fewer allocs/op on the spilled
+// workload (recorded in BENCH_pipeline.json at the repo root).
+
+func BenchmarkJscanPipeline(b *testing.B) {
+	f, err := newIndexScanFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("per-entry", func(b *testing.B) { BenchJscanPerEntry(b, f) })
+	b.Run("batched", func(b *testing.B) { BenchJscanBatched(b, f) })
+}
+
+func BenchmarkFinalFetch(b *testing.B) {
+	f, err := newFinalFetchFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("per-rid", func(b *testing.B) { BenchFinalPerRID(b, f) })
+	b.Run("grouped", func(b *testing.B) { BenchFinalGrouped(b, f) })
+}

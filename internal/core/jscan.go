@@ -70,6 +70,14 @@ type jscan struct {
 	// completion (the optimizer reuses them to pre-arrange the next
 	// run's initial stage).
 	onDone func(names []string)
+
+	// Batch scratch, shared by the sequential and race paths (steps are
+	// strictly sequential within one jscan). Sized to StepEntries on
+	// first use.
+	batch []btree.Entry
+	keep  []bool
+	rbuf  []storage.RID // filter-probe input
+	obuf  []storage.RID // accepted-RID output
 }
 
 type raceState struct {
@@ -124,8 +132,15 @@ func (j *jscan) bgKill() {
 		j.cur = nil
 	}
 	if j.race != nil {
-		j.race.a.cur.Close()
-		j.race.b.cur.Close()
+		// A dead leg's cursor was already closed when competition killed
+		// it; Close is idempotent, but skipping keeps the release path
+		// honest about who owns which pin.
+		if !j.race.a.dead {
+			j.race.a.cur.Close()
+		}
+		if !j.race.b.dead {
+			j.race.b.cur.Close()
+		}
 		j.race = nil
 	}
 	if j.complete != nil {
@@ -268,31 +283,58 @@ func (j *jscan) openSequential(e estimate.IndexEstimate) bool {
 	return true
 }
 
-// stepSequential advances the current single-index scan.
+// ensureBuffers sizes the shared batch scratch to one step.
+func (j *jscan) ensureBuffers() {
+	if j.batch != nil {
+		return
+	}
+	n := j.cfg.StepEntries
+	if n < 1 {
+		n = 1
+	}
+	j.batch = make([]btree.Entry, n)
+	j.keep = make([]bool, n)
+	j.rbuf = make([]storage.RID, n)
+	j.obuf = make([]storage.RID, 0, n)
+}
+
+// stepSequential advances the current single-index scan by one step of
+// StepEntries entries, consumed in leaf-sized batches. Batches are
+// sliced to the step budget, never across it, so the competition check
+// below fires at exactly the same entry counts as per-entry iteration.
 func (j *jscan) stepSequential() error {
-	for i := 0; i < j.cfg.StepEntries; i++ {
-		key, r, ok, err := j.cur.Next()
+	j.ensureBuffers()
+	budget := j.cfg.StepEntries
+	for budget > 0 {
+		lim := budget
+		if lim > len(j.batch) {
+			lim = len(j.batch)
+		}
+		n, err := j.cur.NextBatch(j.batch[:lim])
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			return j.completeScan()
 		}
-		j.seen++
-		keep, err := j.acceptEntry(key, r, j.curIx, j.local, j.filter)
+		j.seen += n
+		budget -= n
+		kept, err := j.acceptBatch(j.batch[:n], j.curIx, j.local, j.filter)
 		if err != nil {
 			return err
 		}
-		if !keep {
-			continue
-		}
-		if err := j.list.Append(r); err != nil {
-			return err
-		}
-		// Borrowing stays open only until the first list completes or
-		// is abandoned, so these RIDs always come from the first scan.
-		if j.borrowActive {
-			j.borrow.push(r)
+		if len(kept) > 0 {
+			if err := j.list.AppendBatch(kept); err != nil {
+				return err
+			}
+			// Borrowing stays open only until the first list completes
+			// or is abandoned, so these RIDs always come from the first
+			// scan.
+			if j.borrowActive {
+				for _, r := range kept {
+					j.borrow.push(r)
+				}
+			}
 		}
 	}
 	// Two-stage competition check.
@@ -316,26 +358,41 @@ func (j *jscan) stepSequential() error {
 	return nil
 }
 
-// acceptEntry applies the index-local restriction and the previous
-// filter to one index entry.
-func (j *jscan) acceptEntry(key []byte, r storage.RID, ix *catalog.Index, local expr.Expr, filter rid.Filter) (bool, error) {
-	if local != nil {
-		row, err := ix.DecodeEntry(key)
-		if err != nil {
-			return false, err
-		}
-		keep, err := expr.EvalPred(local, row, j.q.Binds)
-		if err != nil {
-			return false, err
-		}
-		if !keep {
-			return false, nil
-		}
+// acceptBatch applies the previous list's filter and the index-local
+// restriction to a batch of entries, returning the surviving RIDs in
+// scan order. The returned slice aliases an internal buffer valid until
+// the next call. The filter runs first as one bulk probe (both
+// predicates are pure, so the order does not change the kept set), and
+// — because the filter is now exact — every entry it rejects skips the
+// key decode entirely.
+func (j *jscan) acceptBatch(entries []btree.Entry, ix *catalog.Index, local expr.Expr, filter rid.Filter) ([]storage.RID, error) {
+	rids := j.rbuf[:len(entries)]
+	keep := j.keep[:len(entries)]
+	for i, e := range entries {
+		rids[i] = e.RID
 	}
-	if !filter.MayContain(r) {
-		return false, nil
+	rid.ApplyFilter(filter, rids, keep)
+	out := j.obuf[:0]
+	for i, e := range entries {
+		if !keep[i] {
+			continue
+		}
+		if local != nil {
+			row, err := ix.DecodeEntry(e.Key)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := expr.EvalPred(local, row, j.q.Binds)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, e.RID)
 	}
-	return true, nil
+	return out, nil
 }
 
 // completeScan adopts or rejects the finished RID list.
@@ -439,6 +496,7 @@ func (j *jscan) openLeg(e estimate.IndexEstimate) (raceLeg, bool) {
 // overflows the in-memory budget (the race is called for the other
 // leg), or when competition kills a leg.
 func (j *jscan) stepRace() error {
+	j.ensureBuffers()
 	r := j.race
 	half := j.cfg.StepEntries / 2
 	if half < 1 {
@@ -448,23 +506,27 @@ func (j *jscan) stepRace() error {
 		if leg.done || leg.dead {
 			continue
 		}
-		for i := 0; i < half; i++ {
-			key, ridv, ok, err := leg.cur.Next()
+		budget := half
+		for budget > 0 {
+			lim := budget
+			if lim > len(j.batch) {
+				lim = len(j.batch)
+			}
+			n, err := leg.cur.NextBatch(j.batch[:lim])
 			if err != nil {
 				return err
 			}
-			if !ok {
+			if n == 0 {
 				leg.done = true
 				break
 			}
-			leg.seen++
-			keep, err := j.acceptEntry(key, ridv, leg.ix, leg.local, j.filter)
+			leg.seen += n
+			budget -= n
+			kept, err := j.acceptBatch(j.batch[:n], leg.ix, leg.local, j.filter)
 			if err != nil {
 				return err
 			}
-			if keep {
-				leg.rids = append(leg.rids, ridv)
-			}
+			leg.rids = append(leg.rids, kept...)
 		}
 		// Competition can kill a leg mid-race.
 		if !j.cfg.DisableCompetition && !leg.done && leg.seen >= j.cfg.StepEntries {
@@ -491,7 +553,12 @@ func (j *jscan) stepRace() error {
 			winner, loser = &r.b, &r.a
 		}
 		j.race = nil
-		j.adoptRaceWinner(winner)
+		if err := j.adoptRaceWinner(winner); err != nil {
+			// The loser will not be continued; release its pin before
+			// surfacing the error (Close is idempotent for dead legs).
+			loser.cur.Close()
+			return err
+		}
 		if !loser.dead {
 			j.continueLoser(loser)
 		} else if j.cur == nil {
@@ -530,7 +597,7 @@ func (j *jscan) stepRace() error {
 }
 
 // adoptRaceWinner turns the winning leg's RIDs into a completed list.
-func (j *jscan) adoptRaceWinner(w *raceLeg) {
+func (j *jscan) adoptRaceWinner(w *raceLeg) error {
 	n := len(w.rids)
 	newFinal := j.model.JscanFinalCost(float64(n))
 	if w.dead || newFinal >= j.guaranteedBest {
@@ -539,13 +606,14 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) {
 			EstimatedIO: newFinal, ActualIO: j.m.cost(),
 			Detail: fmt.Sprintf("race winner %s useless (%d rids)", w.ix.Name, n),
 		})
-		return
+		return nil
 	}
 	c := rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
-	for _, r := range w.rids {
-		if err := c.Append(r); err != nil {
-			return
-		}
+	if err := c.AppendBatch(w.rids); err != nil {
+		// The half-built list (and any temp table it spilled) must not
+		// leak when the copy fails.
+		c.Discard()
+		return err
 	}
 	if j.complete != nil {
 		j.complete.Discard()
@@ -559,21 +627,37 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) {
 		EstimatedIO: newFinal, ActualIO: j.m.cost(),
 		Detail: fmt.Sprintf("race winner %s, %d rids, final cost %.0f", w.ix.Name, n, newFinal),
 	})
+	return nil
 }
 
 // continueLoser refilters the losing leg's partial list against the
-// (possibly new) filter and resumes it as the current sequential scan.
+// (possibly new) filter — one bulk probe per step-sized chunk — and
+// resumes it as the current sequential scan. The filter is exact, so
+// nothing that cannot intersect survives into the continued list.
 func (j *jscan) continueLoser(l *raceLeg) {
+	j.ensureBuffers()
 	j.cur = l.cur
 	j.curIx = l.ix
 	j.local = l.local
 	j.list = rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
-	for _, r := range l.rids {
-		if j.filter.MayContain(r) {
-			if err := j.list.Append(r); err != nil {
-				break
+	rest := l.rids
+	for len(rest) > 0 {
+		n := len(j.keep)
+		if n > len(rest) {
+			n = len(rest)
+		}
+		keep := j.keep[:n]
+		rid.ApplyFilter(j.filter, rest[:n], keep)
+		out := j.obuf[:0]
+		for i, r := range rest[:n] {
+			if keep[i] {
+				out = append(out, r)
 			}
 		}
+		if err := j.list.AppendBatch(out); err != nil {
+			break
+		}
+		rest = rest[n:]
 	}
 	j.seen = l.seen
 	j.rangeEst = l.rangeEst

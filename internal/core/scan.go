@@ -47,6 +47,10 @@ func (m *meter) io() storage.IOStats { return m.tr.Stats() }
 // entryCursor is the common face of forward and reverse index cursors.
 type entryCursor interface {
 	Next() (key []byte, rid storage.RID, ok bool, err error)
+	// NextBatch drains up to a leaf's worth of entries per call with
+	// identical tracker charges to per-entry Next; n == 0 means
+	// exhaustion.
+	NextBatch(dst []btree.Entry) (n int, err error)
 	// Close releases the cursor's leaf pin; required when abandoning
 	// the cursor before exhaustion.
 	Close()
@@ -98,7 +102,7 @@ type tscan struct {
 	cur     *storage.HeapCursor
 	out     *rowQueue
 	m       meter
-	exclude *rid.SortedList
+	exclude *rid.CompressedBitmap
 	rpp     int // rows per page, the per-step record budget
 	done    bool
 }

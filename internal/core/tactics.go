@@ -379,7 +379,7 @@ func (r *retrieval) bgResolveFastFirst() error {
 		})
 		ts := newTscan(r.ec, r.q, r.out)
 		if len(delivered) > 0 {
-			ts.exclude = rid.NewSortedList(delivered)
+			ts.exclude = rid.FromRIDs(delivered)
 		}
 		r.replaceFg(ts)
 		return nil

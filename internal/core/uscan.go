@@ -48,6 +48,10 @@ type uscan struct {
 	done           bool
 	recommendTscan bool
 	names          []string
+
+	// Batch scratch, sized to StepEntries on first use.
+	batch []btree.Entry
+	obuf  []storage.RID
 }
 
 // unionLeg is one disjunct's index scan.
@@ -220,12 +224,28 @@ func (u *uscan) step() (bool, error) {
 		})
 	}
 	leg := u.legs[u.idx]
-	for i := 0; i < u.cfg.StepEntries; i++ {
-		key, r, ok, err := u.cur.Next()
+	if u.batch == nil {
+		n := u.cfg.StepEntries
+		if n < 1 {
+			n = 1
+		}
+		u.batch = make([]btree.Entry, n)
+		u.obuf = make([]storage.RID, 0, n)
+	}
+	// Consume the step budget in leaf-sized batches; batches are sliced
+	// to the budget, never across it, so the competition check below
+	// fires at the same entry counts as per-entry iteration did.
+	budget := u.cfg.StepEntries
+	for budget > 0 {
+		lim := budget
+		if lim > len(u.batch) {
+			lim = len(u.batch)
+		}
+		n, err := u.cur.NextBatch(u.batch[:lim])
 		if err != nil {
 			return u.done, err
 		}
-		if !ok {
+		if n == 0 {
 			u.cur = nil
 			u.idx++
 			if u.idx >= len(u.legs) {
@@ -233,25 +253,32 @@ func (u *uscan) step() (bool, error) {
 			}
 			return u.done, nil
 		}
-		u.seen++
-		if leg.Local != nil {
-			row, err := leg.Index.DecodeEntry(key)
-			if err != nil {
-				return u.done, err
+		u.seen += n
+		budget -= n
+		out := u.obuf[:0]
+		for _, e := range u.batch[:n] {
+			if leg.Local != nil {
+				row, err := leg.Index.DecodeEntry(e.Key)
+				if err != nil {
+					return u.done, err
+				}
+				keep, err := expr.EvalPred(leg.Local, row, u.q.Binds)
+				if err != nil {
+					return u.done, err
+				}
+				if !keep {
+					continue
+				}
 			}
-			keep, err := expr.EvalPred(leg.Local, row, u.q.Binds)
-			if err != nil {
-				return u.done, err
-			}
-			if !keep {
-				continue
-			}
+			out = append(out, e.RID)
 		}
-		if err := u.list.Append(r); err != nil {
+		if err := u.list.AppendBatch(out); err != nil {
 			return u.done, err
 		}
 		if u.borrowActive {
-			u.borrow.push(r)
+			for _, r := range out {
+				u.borrow.push(r)
+			}
 		}
 	}
 	// Two-stage competition: project the final union size; the

@@ -33,13 +33,23 @@ func EncodeRow(r Row) []byte {
 }
 
 // DecodeRow parses a record produced by EncodeRow.
-func DecodeRow(b []byte) (Row, error) {
+func DecodeRow(b []byte) (Row, error) { return DecodeRowInto(b, nil) }
+
+// DecodeRowInto is DecodeRow appending into dst[:0], reusing dst's
+// backing array when it has the capacity. Row-at-a-time pipelines pass
+// a scratch row to decode without allocating; a caller that keeps the
+// result past the next decode must copy it first. String values still
+// allocate (they copy out of the record).
+func DecodeRowInto(b []byte, dst Row) (Row, error) {
 	n, k := binary.Uvarint(b)
 	if k <= 0 {
 		return nil, ErrCorruptRecord
 	}
 	b = b[k:]
-	r := make(Row, 0, n)
+	r := dst[:0]
+	if uint64(cap(r)) < n {
+		r = make(Row, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, ErrCorruptRecord

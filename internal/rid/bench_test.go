@@ -32,13 +32,30 @@ func BenchmarkContainerAppendLarge(b *testing.B) {
 }
 
 func BenchmarkBitmapAddAndProbe(b *testing.B) {
-	bm := NewBitmap(1 << 16)
+	bm := NewCompressedBitmap()
 	for i := 0; i < 1<<16; i++ {
 		bm.Add(ridN(i))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bm.MayContain(ridN(i))
+	}
+}
+
+func BenchmarkBitmapFilterBatch(b *testing.B) {
+	bm := NewCompressedBitmap()
+	for i := 0; i < 1<<16; i += 2 {
+		bm.Add(ridN(i))
+	}
+	rids := make([]storage.RID, 4096)
+	for i := range rids {
+		rids[i] = ridN(i)
+	}
+	keep := make([]bool, len(rids))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.FilterBatch(rids, keep)
 	}
 }
 

@@ -43,12 +43,12 @@ type Container struct {
 	pool *storage.BufferPool
 	tr   *storage.Tracker // charged for spill and read-back I/O
 
-	small     [20]storage.RID // static region (cfg.SmallCap <= 20 uses a prefix)
-	mem       []storage.RID   // allocated region; nil while in static region
-	n         int             // total appended
-	allocated bool            // entered the allocated region
-	spill     *tempTable      // non-nil once spilled
-	bitmap    *Bitmap         // maintained once spilled
+	small     [20]storage.RID   // static region (cfg.SmallCap <= 20 uses a prefix)
+	mem       []storage.RID     // allocated region; nil while in static region
+	n         int               // total appended
+	allocated bool              // entered the allocated region
+	spill     *tempTable        // non-nil once spilled
+	bitmap    *CompressedBitmap // maintained once overflowed; exact
 	discarded bool
 }
 
@@ -93,36 +93,103 @@ func (c *Container) Append(r storage.RID) error {
 		c.small[c.n] = r
 	case c.n < c.cfg.MemBudget:
 		if !c.allocated {
-			capHint := c.cfg.MemBudget
-			if capHint > 4*c.cfg.SmallCap {
-				capHint = 4 * c.cfg.SmallCap // grow geometrically from here
-			}
-			c.mem = make([]storage.RID, 0, capHint)
-			c.mem = append(c.mem, c.small[:c.n]...)
-			c.allocated = true
+			c.graduate()
 		}
 		c.mem = append(c.mem, r)
 	case c.bitmap != nil:
 		// Filter-only overflow mode: the bitmap is the only record.
 		c.bitmap.Add(r)
 	default:
-		// Graduate past the memory budget: existing in-memory RIDs
-		// feed the bitmap and stay in memory. In filter-only mode the
-		// bitmap alone absorbs the overflow; otherwise the overflow
-		// also goes to a temporary table so the list can be read back.
-		c.bitmap = NewBitmap(4 * c.cfg.MemBudget)
-		for _, x := range c.inMemory() {
-			c.bitmap.Add(x)
-		}
-		c.bitmap.Add(r)
-		if !c.cfg.FilterOnly {
-			c.spill = newTempTable(c.pool, c.tr)
-			if err := c.spill.append(r); err != nil {
-				return err
-			}
+		if err := c.overflow(r); err != nil {
+			return err
 		}
 	}
 	c.n++
+	return nil
+}
+
+// AppendBatch adds a run of RIDs in order. It is equivalent to calling
+// Append for each — including mid-batch region graduations and the I/O
+// charged for spill pages — but batches the region copies, the bitmap
+// feeds, and the temp-table page probes.
+func (c *Container) AppendBatch(rids []storage.RID) error {
+	if c.discarded {
+		return ErrDiscarded
+	}
+	for len(rids) > 0 {
+		switch {
+		case c.spill != nil:
+			for _, r := range rids {
+				c.bitmap.Add(r)
+			}
+			k, err := c.spill.appendBatch(rids)
+			c.n += k
+			return err
+		case c.bitmap != nil:
+			for _, r := range rids {
+				c.bitmap.Add(r)
+			}
+			c.n += len(rids)
+			return nil
+		case !c.allocated && c.n < c.cfg.SmallCap:
+			k := c.cfg.SmallCap - c.n
+			if k > len(rids) {
+				k = len(rids)
+			}
+			copy(c.small[c.n:], rids[:k])
+			c.n += k
+			rids = rids[k:]
+		case c.n < c.cfg.MemBudget:
+			if !c.allocated {
+				c.graduate()
+			}
+			k := c.cfg.MemBudget - c.n
+			if k > len(rids) {
+				k = len(rids)
+			}
+			c.mem = append(c.mem, rids[:k]...)
+			c.n += k
+			rids = rids[k:]
+		default:
+			// Cross the overflow boundary one RID at a time; the next
+			// loop iteration lands in the spill or bitmap fast path.
+			if err := c.Append(rids[0]); err != nil {
+				return err
+			}
+			rids = rids[1:]
+		}
+	}
+	return nil
+}
+
+// graduate moves the container from the static to the allocated region.
+func (c *Container) graduate() {
+	capHint := c.cfg.MemBudget
+	if capHint > 4*c.cfg.SmallCap {
+		capHint = 4 * c.cfg.SmallCap // grow geometrically from here
+	}
+	c.mem = make([]storage.RID, 0, capHint)
+	c.mem = append(c.mem, c.small[:c.n]...)
+	c.allocated = true
+}
+
+// overflow graduates past the memory budget: existing in-memory RIDs
+// feed the bitmap and stay in memory. In filter-only mode the bitmap
+// alone absorbs the overflow; otherwise the overflow also goes to a
+// temporary table so the list can be read back. The bitmap is exact, so
+// even a filter-only container's answers carry no false positives.
+func (c *Container) overflow(r storage.RID) error {
+	c.bitmap = NewCompressedBitmap()
+	for _, x := range c.inMemory() {
+		c.bitmap.Add(x)
+	}
+	c.bitmap.Add(r)
+	if !c.cfg.FilterOnly {
+		c.spill = newTempTable(c.pool, c.tr)
+		if err := c.spill.append(r); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -141,15 +208,16 @@ func (c *Container) inMemory() []storage.RID {
 	return c.small[:k]
 }
 
-// Filter returns the membership filter for this container: an exact
-// sorted list while the RIDs fit in memory, the hashed bitmap once
-// spilled ("an in-buffer sorted RID list or a hashed in-memory bitmap
-// for temporary tables").
+// Filter returns the membership filter for this container: a compressed
+// bitmap built from the in-memory list, or the maintained overflow
+// bitmap once the container outgrew its budget. Either way the filter
+// is exact — the modern replacement for the paper's "hashed in-memory
+// bitmap for temporary tables", which traded false positives for space.
 func (c *Container) Filter() Filter {
 	if c.bitmap != nil {
 		return c.bitmap
 	}
-	return NewSortedList(c.inMemory())
+	return FromRIDs(c.inMemory())
 }
 
 // All returns every RID in append order. Reading back a spilled

@@ -1,0 +1,216 @@
+package rid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdbdyn/internal/storage"
+)
+
+// ridMix turns raw fuzz words into RIDs spanning several files and
+// pages, with slot distributions that exercise both sparse (array) and
+// dense (bitset) chunk representations: a low bit selects between a
+// narrow slot range (clusters many RIDs on one page, crossing the
+// array→bitset threshold) and a wide spread.
+func ridMix(words []uint32) []storage.RID {
+	rids := make([]storage.RID, len(words))
+	for i, w := range words {
+		file := storage.FileID(w>>28) % 3
+		var page, slot uint32
+		if w&1 == 0 {
+			// Dense mix: few pages, full 16-bit slot range.
+			page = (w >> 1) % 4
+			slot = (w >> 3) & 0xFFFF
+		} else {
+			// Sparse mix: many pages, few slots each.
+			page = (w >> 1) % 4096
+			slot = (w >> 13) % 8
+		}
+		rids[i] = storage.RID{
+			Page: storage.PageID{File: file, No: storage.PageNo(page)},
+			Slot: uint16(slot),
+		}
+	}
+	return rids
+}
+
+func fromOracle(o map[storage.RID]bool) *CompressedBitmap {
+	b := NewCompressedBitmap()
+	for r := range o {
+		b.Add(r)
+	}
+	return b
+}
+
+// Property: Add/MayContain/Len agree with a map-of-RIDs oracle, and
+// FilterBatch matches per-RID probes, across sparse/dense slot mixes.
+func TestQuickBitmapVsOracle(t *testing.T) {
+	f := func(words []uint32, probeWords []uint32) bool {
+		rids := ridMix(words)
+		oracle := map[storage.RID]bool{}
+		b := NewCompressedBitmap()
+		for _, r := range rids {
+			b.Add(r)
+			oracle[r] = true
+		}
+		if b.Len() != len(oracle) {
+			return false
+		}
+		probes := append(ridMix(probeWords), rids...)
+		keep := make([]bool, len(probes))
+		b.FilterBatch(probes, keep)
+		for i, r := range probes {
+			if b.MayContain(r) != oracle[r] || keep[i] != oracle[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And/Or/AndNot match set intersection/union/difference of
+// the oracles, and the results stay internally consistent (Len agrees
+// with membership).
+func TestQuickBitmapSetOps(t *testing.T) {
+	f := func(aw, bw []uint32) bool {
+		ra, rb := ridMix(aw), ridMix(bw)
+		oa, ob := map[storage.RID]bool{}, map[storage.RID]bool{}
+		for _, r := range ra {
+			oa[r] = true
+		}
+		for _, r := range rb {
+			ob[r] = true
+		}
+		ba, bb := fromOracle(oa), fromOracle(ob)
+
+		universe := map[storage.RID]bool{}
+		for r := range oa {
+			universe[r] = true
+		}
+		for r := range ob {
+			universe[r] = true
+		}
+
+		and, or, not := ba.And(bb), ba.Or(bb), ba.AndNot(bb)
+		nAnd, nOr, nNot := 0, 0, 0
+		for r := range universe {
+			inA, inB := oa[r], ob[r]
+			if and.MayContain(r) != (inA && inB) {
+				return false
+			}
+			if or.MayContain(r) != (inA || inB) {
+				return false
+			}
+			if not.MayContain(r) != (inA && !inB) {
+				return false
+			}
+			if inA && inB {
+				nAnd++
+			}
+			if inA || inB {
+				nOr++
+			}
+			if inA && !inB {
+				nNot++
+			}
+		}
+		if and.Len() != nAnd || or.Len() != nOr || not.Len() != nNot {
+			return false
+		}
+		// Inputs must be untouched (ops return new sets).
+		if ba.Len() != len(oa) || bb.Len() != len(ob) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromRIDs equals incremental Add, and SortedList (the scalar
+// baseline) agrees with the compressed bitmap on membership.
+func TestQuickBitmapVsSortedList(t *testing.T) {
+	f := func(words []uint32, probeWords []uint32) bool {
+		rids := ridMix(words)
+		b := FromRIDs(rids)
+		inc := NewCompressedBitmap()
+		for _, r := range rids {
+			inc.Add(r)
+		}
+		if b.Len() != inc.Len() {
+			return false
+		}
+		s := NewSortedList(rids)
+		for _, r := range append(ridMix(probeWords), rids...) {
+			want := s.MayContain(r)
+			if b.MayContain(r) != want || inc.MayContain(r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Container.AppendBatch is equivalent to per-RID Append — same
+// Len, same All() sequence, same (now exact) filter verdicts — across
+// configurations that keep the list static, graduated, or spilled.
+func TestQuickContainerAppendBatch(t *testing.T) {
+	f := func(words []uint32, smallCap, memBudget uint8) bool {
+		rids := ridMix(words)
+		cfg := Config{SmallCap: int(smallCap%30) + 1, MemBudget: int(memBudget) + 2}
+
+		one := NewContainer(newPool(), cfg)
+		for _, r := range rids {
+			if err := one.Append(r); err != nil {
+				return false
+			}
+		}
+		batch := NewContainer(newPool(), cfg)
+		// Split into irregular sub-batches to hit region boundaries at
+		// varying offsets.
+		for i := 0; i < len(rids); {
+			n := 1 + (i*7)%13
+			if i+n > len(rids) {
+				n = len(rids) - i
+			}
+			if err := batch.AppendBatch(rids[i : i+n]); err != nil {
+				return false
+			}
+			i += n
+		}
+
+		if one.Len() != batch.Len() || one.Spilled() != batch.Spilled() {
+			return false
+		}
+		a1, err1 := one.All()
+		a2, err2 := batch.All()
+		if err1 != nil || err2 != nil || len(a1) != len(a2) {
+			return false
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		f1, f2 := one.Filter(), batch.Filter()
+		if !f1.Exact() || !f2.Exact() {
+			return false
+		}
+		for _, r := range rids {
+			if !f1.MayContain(r) || !f2.MayContain(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,35 +35,70 @@ func TestSortedListMembership(t *testing.T) {
 	}
 }
 
-func TestBitmapNoFalseNegatives(t *testing.T) {
-	b := NewBitmap(1000)
-	if b.Exact() {
-		t.Fatal("bitmap must not claim exactness")
+func TestCompressedBitmapExactMembership(t *testing.T) {
+	b := NewCompressedBitmap()
+	if !b.Exact() {
+		t.Fatal("compressed bitmap must be exact")
 	}
 	for i := 0; i < 1000; i++ {
 		b.Add(ridN(i * 3))
 	}
-	for i := 0; i < 1000; i++ {
-		if !b.MayContain(ridN(i * 3)) {
-			t.Fatalf("false negative for %d", i*3)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", b.Len())
+	}
+	for i := 0; i < 3000; i++ {
+		want := i%3 == 0
+		if got := b.MayContain(ridN(i)); got != want {
+			t.Fatalf("MayContain(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Far-away probes: no false positives, ever.
+	for i := 0; i < 10000; i++ {
+		if b.MayContain(ridN(100000 + i)) {
+			t.Fatalf("false positive at %d", 100000+i)
 		}
 	}
 }
 
-func TestBitmapFalsePositiveRateReasonable(t *testing.T) {
-	b := NewBitmap(1000)
-	for i := 0; i < 1000; i++ {
-		b.Add(ridN(i))
+func TestCompressedBitmapFilterBatch(t *testing.T) {
+	b := NewCompressedBitmap()
+	for i := 0; i < 500; i++ {
+		b.Add(ridN(i * 2))
 	}
-	fp := 0
-	const probes = 10000
-	for i := 0; i < probes; i++ {
-		if b.MayContain(ridN(100000 + i)) {
-			fp++
+	rids := make([]storage.RID, 1000)
+	for i := range rids {
+		rids[i] = ridN(i)
+	}
+	keep := make([]bool, len(rids))
+	b.FilterBatch(rids, keep)
+	for i, k := range keep {
+		if want := i%2 == 0; k != want {
+			t.Fatalf("FilterBatch[%d] = %v, want %v", i, k, want)
 		}
 	}
-	if rate := float64(fp) / probes; rate > 0.25 {
-		t.Fatalf("false positive rate %.2f too high", rate)
+}
+
+func TestCompressedBitmapDenseChunk(t *testing.T) {
+	// Fill one page's chunk past the array threshold so it converts to
+	// a packed bitset, then delete nothing and probe everything.
+	b := NewCompressedBitmap()
+	pg := storage.PageID{File: 2, No: 7}
+	for s := 0; s < 5000; s++ {
+		b.Add(storage.RID{Page: pg, Slot: uint16(s)})
+	}
+	if b.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", b.Len())
+	}
+	for s := 0; s < 6000; s++ {
+		want := s < 5000
+		if got := b.MayContain(storage.RID{Page: pg, Slot: uint16(s)}); got != want {
+			t.Fatalf("dense MayContain(%d) = %v, want %v", s, got, want)
+		}
+	}
+	// Duplicate adds must not inflate cardinality.
+	b.Add(storage.RID{Page: pg, Slot: 42})
+	if b.Len() != 5000 {
+		t.Fatalf("Len after dup add = %d, want 5000", b.Len())
 	}
 }
 
@@ -130,12 +165,17 @@ func TestContainerSpillsAndReadsBack(t *testing.T) {
 		t.Fatalf("in-memory RIDs = %d, want 100", c.MemRIDs())
 	}
 	f := c.Filter()
-	if f.Exact() {
-		t.Fatal("spilled filter must be the bitmap")
+	if !f.Exact() {
+		t.Fatal("spilled filter must stay exact (compressed bitmap)")
 	}
 	for i := 0; i < total; i++ {
 		if !f.MayContain(ridN(i)) {
 			t.Fatalf("bitmap false negative at %d", i)
+		}
+	}
+	for i := total; i < 2*total; i++ {
+		if f.MayContain(ridN(i)) {
+			t.Fatalf("bitmap false positive at %d", i)
 		}
 	}
 	all, err := c.All()

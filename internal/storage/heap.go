@@ -68,6 +68,66 @@ func (h *HeapFile) InsertTracked(rec []byte, tr *Tracker) (RID, error) {
 	return RID{Page: p.ID, Slot: slot}, nil
 }
 
+// InsertBatchTracked appends recs in order, returning their RIDs
+// appended to out (on error, out holds the RIDs inserted so far). The
+// buffer-pool charges are exactly what a per-record InsertTracked loop
+// would produce: every record probes the active page once (the first
+// probe of a run is a real Get — hit or miss — and the rest are
+// credited as hits, since the page cannot leave the pool between
+// probes), a record that overflows the page still pays its probe before
+// landing on a fresh page, and each touched page is marked dirty. Only
+// the governor check coarsens: once per page run instead of per record.
+func (h *HeapFile) InsertBatchTracked(recs [][]byte, tr *Tracker, out []RID) ([]RID, error) {
+	for i := 0; i < len(recs); {
+		if h.havePage {
+			id := PageID{File: h.file, No: h.lastPage}
+			p, err := h.pool.GetTracked(id, tr)
+			if err != nil {
+				return out, err
+			}
+			first, n, serr := p.InsertBatch(recs[i:])
+			for s := 0; s < n; s++ {
+				out = append(out, RID{Page: id, Slot: first + uint16(s)})
+			}
+			if n > 0 {
+				h.count.Add(int64(n))
+				h.pool.MarkDirty(id)
+			}
+			// Every record probes the active page once: the first probe is
+			// the real GetTracked above, each later record's probe is a hit,
+			// and the record that stopped the run (overflow or too big)
+			// still paid its probe before failing.
+			hits := n - 1
+			if i+n < len(recs) {
+				hits = n
+			}
+			h.pool.ChargeHits(hits, tr)
+			if serr != nil {
+				return out, serr
+			}
+			i += n
+			if i >= len(recs) {
+				return out, nil
+			}
+		}
+		// Land recs[i] on a fresh page, which becomes the active page.
+		p, err := h.pool.NewPageTracked(h.file, tr)
+		if err != nil {
+			return out, err
+		}
+		slot, err := p.Insert(recs[i])
+		if err != nil {
+			return out, err
+		}
+		h.lastPage = p.ID.No
+		h.havePage = true
+		h.count.Add(1)
+		out = append(out, RID{Page: p.ID, Slot: slot})
+		i++
+	}
+	return out, nil
+}
+
 // Get fetches the record at rid through the buffer pool.
 func (h *HeapFile) Get(rid RID) ([]byte, error) { return h.GetTracked(rid, nil) }
 
@@ -78,6 +138,15 @@ func (h *HeapFile) GetTracked(rid RID, tr *Tracker) ([]byte, error) {
 		return nil, err
 	}
 	return p.Get(rid.Slot)
+}
+
+// GetSpanTracked fetches the page holding a clustered run of span
+// records, charged as span record accesses (one potential miss plus
+// span-1 hits) — exactly what span GetTracked calls on the same page
+// would cost. Callers extract the individual records from the returned
+// page.
+func (h *HeapFile) GetSpanTracked(id PageID, span int, tr *Tracker) (*Page, error) {
+	return h.pool.GetSpanTracked(id, span, tr)
 }
 
 // Delete tombstones the record at rid.
@@ -114,7 +183,14 @@ type HeapCursor struct {
 	cur    *Page
 	pinned bool
 	tr     *Tracker
+	ra     [heapReadahead]PageID // scratch for readahead IDs
 }
+
+// heapReadahead is the page window a sequential heap cursor stages
+// ahead of its position. Staging is accounting-free (see
+// BufferPool.Prefetch): the scan's simulated cost is unchanged, only
+// the physical reads are overlapped.
+const heapReadahead = 8
 
 // Next advances to the next live record. It returns the record, its
 // RID, and false when the scan is exhausted.
@@ -130,6 +206,7 @@ func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
 			c.cur = p
 			c.heap.pool.Pin(p.ID)
 			c.pinned = true
+			c.prefetchAhead(n)
 		}
 		c.slot++
 		for c.slot < c.cur.NumSlots() {
@@ -144,6 +221,24 @@ func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
 	}
 	c.unpin()
 	return nil, RID{}, false, nil
+}
+
+// prefetchAhead stages the next window of heap pages. After the first
+// transition only one page per hop is actually new — Prefetch skips
+// pages already staged or resident.
+func (c *HeapCursor) prefetchAhead(npages PageNo) {
+	end := c.page + 1 + heapReadahead
+	if end > npages {
+		end = npages
+	}
+	if end <= c.page+1 {
+		return
+	}
+	ids := c.ra[:0]
+	for no := c.page + 1; no < end; no++ {
+		ids = append(ids, PageID{File: c.heap.file, No: no})
+	}
+	c.heap.pool.Prefetch(ids)
 }
 
 func (c *HeapCursor) unpin() {

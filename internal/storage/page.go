@@ -53,6 +53,43 @@ func (p *Page) Insert(rec []byte) (uint16, error) {
 	return uint16(len(p.slots) - 1), nil
 }
 
+// InsertBatch stores the longest prefix of recs that fits in
+// consecutive fresh slots, sharing one backing allocation across the
+// run, and returns the first slot number and the count stored. A stop
+// before len(recs) means the page is full for the next record; the
+// error is non-nil (ErrRecordTooBig) only when that record could never
+// fit even in an empty page.
+func (p *Page) InsertBatch(recs [][]byte) (uint16, int, error) {
+	n, total := 0, 0
+	free := p.Free()
+	var err error
+	for _, rec := range recs {
+		if len(rec)+slotOverhead > free {
+			if len(rec)+slotOverhead > p.size {
+				err = ErrRecordTooBig
+			}
+			break
+		}
+		free -= len(rec) + slotOverhead
+		total += len(rec)
+		n++
+	}
+	if n == 0 {
+		return 0, 0, err
+	}
+	arena := make([]byte, total)
+	first := uint16(len(p.slots))
+	off := 0
+	for _, rec := range recs[:n] {
+		end := off + len(rec)
+		copy(arena[off:end], rec)
+		p.slots = append(p.slots, arena[off:end:end])
+		p.used += len(rec) + slotOverhead
+		off = end
+	}
+	return first, n, err
+}
+
 // Get returns the record in the given slot. It returns ErrNoSuchSlot
 // for out-of-range slots or tombstones.
 func (p *Page) Get(slot uint16) ([]byte, error) {

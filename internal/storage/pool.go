@@ -49,7 +49,13 @@ type poolShard struct {
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
 	pins     map[PageID]int
-	_        [40]byte // pad to a cache line to avoid false sharing
+	// staged holds prefetched pages that have been read from disk but
+	// not yet demanded. Staged pages are invisible to the cost model:
+	// they are outside the LRU, count toward no statistic, and the read
+	// is still charged (to the demanding tracker) when a Get consumes
+	// them. Bounded by prefetchCapPerShard.
+	staged map[PageID]*Page
+	_      [40]byte // pad to a cache line to avoid false sharing
 }
 
 type frame struct {
@@ -109,6 +115,7 @@ func NewBufferPoolSharded(disk *Disk, capacity, shards int) *BufferPool {
 		s.frames = make(map[PageID]*list.Element)
 		s.lru = list.New()
 		s.pins = make(map[PageID]int)
+		s.staged = make(map[PageID]*Page)
 	}
 	return bp
 }
@@ -175,6 +182,24 @@ func (bp *BufferPool) GetDirtyTracked(id PageID, tr *Tracker) (*Page, error) {
 }
 
 func (bp *BufferPool) get(id PageID, tr *Tracker, dirty bool) (*Page, error) {
+	return bp.getSpan(id, tr, dirty, 1)
+}
+
+// GetSpanTracked is GetTracked for a clustered run of span record
+// accesses that all land on one page: the first access is charged as a
+// normal hit or miss and the remaining span-1 as hits, so the counters
+// (global and tracker) end up exactly where span individual GetTracked
+// calls would leave them, while paying one lock acquisition and at most
+// one disk read. The final retrieval stage uses it to fetch each data
+// page once per run of sorted RIDs.
+func (bp *BufferPool) GetSpanTracked(id PageID, span int, tr *Tracker) (*Page, error) {
+	if span < 1 {
+		span = 1
+	}
+	return bp.getSpan(id, tr, false, span)
+}
+
+func (bp *BufferPool) getSpan(id PageID, tr *Tracker, dirty bool, span int) (*Page, error) {
 	// Cooperative cancellation checkpoint: every page access — hit or
 	// miss — first asks the tracker's governor whether the query may
 	// continue. This bounds cancellation latency to one simulated page
@@ -182,12 +207,14 @@ func (bp *BufferPool) get(id PageID, tr *Tracker, dirty bool) (*Page, error) {
 	if err := tr.Err(); err != nil {
 		return nil, err
 	}
+	extra := int64(span - 1)
 	s := bp.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.frames[id]; ok {
-		bp.hits.Add(1)
+		bp.hits.Add(1 + extra)
 		tr.hit()
+		tr.hitN(extra)
 		s.lru.MoveToFront(el)
 		f := el.Value.(*frame)
 		if dirty {
@@ -195,14 +222,77 @@ func (bp *BufferPool) get(id PageID, tr *Tracker, dirty bool) (*Page, error) {
 		}
 		return f.page, nil
 	}
-	p, err := bp.disk.read(id)
-	if err != nil {
-		return nil, err
+	p, ok := s.staged[id]
+	if ok {
+		// A prefetched page: skip the physical read, but charge the
+		// miss normally — readahead changes wall-clock, never cost.
+		delete(s.staged, id)
+	} else {
+		var err error
+		p, err = bp.disk.read(id)
+		if err != nil {
+			return nil, err
+		}
 	}
 	bp.reads.Add(1)
 	tr.read()
+	if extra > 0 {
+		bp.hits.Add(extra)
+		tr.hitN(extra)
+	}
 	bp.admit(s, p, dirty, tr)
 	return p, nil
+}
+
+// ChargeHits records n buffer-pool hits against the global counters and
+// tr without touching any page. Batched writers use it to mirror the
+// per-record page probes they coalesced (see HeapFile.InsertBatchTracked),
+// keeping the counters identical to the unbatched path.
+func (bp *BufferPool) ChargeHits(n int, tr *Tracker) {
+	if n <= 0 {
+		return
+	}
+	bp.hits.Add(int64(n))
+	tr.hitN(int64(n))
+}
+
+// prefetchCapPerShard bounds staged pages per shard so readahead for an
+// abandoned scan cannot grow memory without limit.
+const prefetchCapPerShard = 64
+
+// Prefetch stages the given pages so future demand fetches skip the
+// physical disk read. It is pure readahead: no counters move, no LRU or
+// pin state changes, and nothing is admitted to the pool, so the
+// simulated cost model (and eviction order) is untouched — the miss is
+// still charged to the demanding query's tracker when the page is
+// actually fetched. Pages already resident or staged are skipped, each
+// shard stages at most prefetchCapPerShard pages, and EvictAll drops
+// staged pages along with the rest of the pool.
+func (bp *BufferPool) Prefetch(ids []PageID) {
+	for _, id := range ids {
+		s := bp.shard(id)
+		s.mu.Lock()
+		_, resident := s.frames[id]
+		_, staged := s.staged[id]
+		if !resident && !staged && len(s.staged) < prefetchCapPerShard {
+			if p, err := bp.disk.read(id); err == nil {
+				s.staged[id] = p
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Staged returns the number of prefetched pages not yet demanded.
+func (bp *BufferPool) Staged() int {
+	total := 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		total += len(s.staged)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // NewPage allocates a fresh page in the file and admits it to the pool
@@ -277,6 +367,7 @@ func (bp *BufferPool) EvictAll() {
 		}
 		s.frames = make(map[PageID]*list.Element)
 		s.lru.Init()
+		s.staged = make(map[PageID]*Page)
 		s.mu.Unlock()
 	}
 }

@@ -188,6 +188,15 @@ func (t *Tracker) hit() {
 	}
 }
 
+// hitN records n hits at once; batched accessors use it to charge a
+// clustered run of record accesses in one step. Hits never charge the
+// governor (they cost no physical I/O), matching hit().
+func (t *Tracker) hitN(n int64) {
+	if t != nil && n > 0 {
+		t.hits.Add(n)
+	}
+}
+
 // Stats returns a snapshot of the tracker's counters.
 func (t *Tracker) Stats() IOStats {
 	if t == nil {
