@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/storage"
+)
+
+// Parallel partitioned-scan benchmarks.
+//
+// The executor's partitioned Tscan and Jscan (core/parallel.go) split a
+// scan's page range across workers, each charging its own
+// storage.Tracker. Because all costs in this reproduction are simulated
+// I/O, scan throughput under parallelism is a deterministic quantity:
+// the partitioned scan's makespan is its critical path — the largest
+// per-worker attributed I/O — while its total work must equal the
+// sequential scan's I/O exactly (the partitioning invariant). These
+// benchmarks replay the executor's own partitioning arithmetic
+// (contiguous heap chunks; leaf-aligned B-tree partitions) against cold
+// pools and report the measured per-worker charges, so the speedup
+// series is exact and reproducible on any machine, including
+// single-CPU hosts where wall-clock parallel speedup is unobservable.
+
+// ParallelScanPoint is one worker count's measurement.
+type ParallelScanPoint struct {
+	Workers         int     `json:"workers"`
+	PerWorkerIOs    []int64 `json:"per_worker_ios"`
+	TotalIOs        int64   `json:"total_ios"`
+	CriticalPathIOs int64   `json:"critical_path_ios"`
+	// Speedup is sequential I/O over the critical path: the scan-
+	// throughput multiple a worker-per-CPU execution realizes.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelScanSeries is one scan shape measured across worker counts.
+type ParallelScanSeries struct {
+	Name          string              `json:"name"`
+	SequentialIOs int64               `json:"sequential_ios"`
+	Points        []ParallelScanPoint `json:"points"`
+}
+
+// parallelWorkerCounts is the benchmark's worker-count axis: 1, 2, 4,
+// and NumCPU, deduplicated and sorted.
+func parallelWorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	counts := make([]int, 0, len(set))
+	for c := range set {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// ParallelScanBenchmarks measures the partitioned heap scan and the
+// leaf-aligned partitioned index scan at each worker count. Every point
+// verifies the partitioning invariant — per-worker charges sum to the
+// sequential total — and fails loudly if it ever breaks.
+func ParallelScanBenchmarks() ([]ParallelScanSeries, error) {
+	heap, err := benchParallelHeapScan()
+	if err != nil {
+		return nil, err
+	}
+	index, err := benchParallelIndexScan()
+	if err != nil {
+		return nil, err
+	}
+	return []ParallelScanSeries{*heap, *index}, nil
+}
+
+// benchParallelHeapScan charges each contiguous heap chunk to its own
+// tracker, rebuilding the fixture per point so every worker starts on a
+// cold pool (all page gets are misses, exactly the executor's charge
+// profile for a one-pass scan).
+func benchParallelHeapScan() (*ParallelScanSeries, error) {
+	series := &ParallelScanSeries{Name: "PartitionedTscan"}
+	for _, w := range parallelWorkerCounts() {
+		f, err := newFinalFetchFixture()
+		if err != nil {
+			return nil, err
+		}
+		// Cold start: loading the fixture left its pages resident, and a
+		// warm scan is all free hits. Every point begins from the same
+		// all-miss profile, so per-worker charges are page counts.
+		f.pool.EvictAll()
+		npages := f.tab.Heap.NumPages()
+		k := w
+		if k > npages {
+			k = npages
+		}
+		var per []int64
+		for i := 0; i < k; i++ {
+			start := storage.PageNo(i * npages / k)
+			end := storage.PageNo((i + 1) * npages / k)
+			tr := storage.NewTracker(nil)
+			cur := f.tab.Heap.RangeCursorTracked(start, end, tr)
+			for {
+				_, _, ok, err := cur.Next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+			}
+			cur.Close()
+			per = append(per, tr.IOCost())
+		}
+		if err := series.addPoint(w, per); err != nil {
+			return nil, err
+		}
+	}
+	return series, nil
+}
+
+// benchParallelIndexScan partitions the index-scan fixture's full key
+// range with the executor's leaf-aligned PartitionRange: worker 0 pays
+// the root-to-leaf descent (as the sequential scan does), every other
+// worker opens directly on its first leaf for one charge, interior
+// workers stop by exact entry count, and the last worker runs to the
+// end of the range.
+func benchParallelIndexScan() (*ParallelScanSeries, error) {
+	series := &ParallelScanSeries{Name: "PartitionedJscan"}
+	for _, w := range parallelWorkerCounts() {
+		f, err := newIndexScanFixture()
+		if err != nil {
+			return nil, err
+		}
+		f.pool.EvictAll() // cold start (see benchParallelHeapScan)
+		var per []int64
+		if w == 1 {
+			tr := storage.NewTracker(nil)
+			cur, err := f.tree.SeekTracked(nil, nil, tr)
+			if err != nil {
+				return nil, err
+			}
+			if err := drainEntries(cur, -1); err != nil {
+				return nil, err
+			}
+			per = []int64{tr.IOCost()}
+		} else {
+			parts, err := f.tree.PartitionRange(nil, nil, w)
+			if err != nil {
+				return nil, err
+			}
+			if parts == nil {
+				// Range too small to split at this width; skip the point.
+				continue
+			}
+			for i, p := range parts {
+				tr := storage.NewTracker(nil)
+				var cur *btree.Cursor
+				if i == 0 {
+					cur, err = f.tree.SeekTracked(nil, nil, tr)
+				} else {
+					cur, err = f.tree.SeekPartitionLeaf(p.Leaf, nil, tr)
+				}
+				if err != nil {
+					return nil, err
+				}
+				limit := p.Count
+				if i == len(parts)-1 {
+					limit = -1 // the last partition terminates on the range bound
+				}
+				if err := drainEntries(cur, limit); err != nil {
+					return nil, err
+				}
+				per = append(per, tr.IOCost())
+			}
+		}
+		if err := series.addPoint(w, per); err != nil {
+			return nil, err
+		}
+	}
+	return series, nil
+}
+
+// drainEntries consumes up to limit entries (-1 = to exhaustion) in
+// leaf-sized batches, mirroring the executor's bounded operator: the
+// batch is clamped to the remaining budget, so a count-bounded worker
+// never loads a leaf beyond its partition.
+func drainEntries(cur *btree.Cursor, limit int64) error {
+	defer cur.Close()
+	batch := make([]btree.Entry, 256)
+	for limit != 0 {
+		dst := batch
+		if limit > 0 && int64(len(dst)) > limit {
+			dst = dst[:limit]
+		}
+		n, err := cur.NextBatch(dst)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		if limit > 0 {
+			limit -= int64(n)
+		}
+	}
+	return nil
+}
+
+// addPoint folds one worker count's per-worker charges into the series,
+// checking the partitioning invariant against the sequential baseline
+// (the 1-worker point, which every series records first).
+func (s *ParallelScanSeries) addPoint(workers int, per []int64) error {
+	var total, max int64
+	for _, c := range per {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if s.SequentialIOs == 0 {
+		s.SequentialIOs = total
+	}
+	if total != s.SequentialIOs {
+		return fmt.Errorf("bench: %s at %d workers charged %d total I/Os, sequential charged %d (partitioning invariant broken)",
+			s.Name, workers, total, s.SequentialIOs)
+	}
+	speedup := 0.0
+	if max > 0 {
+		speedup = float64(s.SequentialIOs) / float64(max)
+	}
+	s.Points = append(s.Points, ParallelScanPoint{
+		Workers:         workers,
+		PerWorkerIOs:    per,
+		TotalIOs:        total,
+		CriticalPathIOs: max,
+		Speedup:         speedup,
+	})
+	return nil
+}

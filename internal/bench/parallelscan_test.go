@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// The acceptance bar for partitioned scans: at 4 workers the critical
+// path must be at most half the sequential I/O (>=2x scan throughput),
+// while total attributed I/O stays exactly equal at every width
+// (ParallelScanBenchmarks errors internally if the invariant breaks).
+
+func TestParallelScanSpeedup(t *testing.T) {
+	series, err := ParallelScanBenchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("no parallel scan series")
+	}
+	for _, s := range series {
+		if s.SequentialIOs == 0 {
+			t.Fatalf("%s: sequential baseline is zero", s.Name)
+		}
+		byWorkers := map[int]ParallelScanPoint{}
+		for _, p := range s.Points {
+			byWorkers[p.Workers] = p
+			if p.TotalIOs != s.SequentialIOs {
+				t.Fatalf("%s at %d workers: total %d I/Os, sequential %d",
+					s.Name, p.Workers, p.TotalIOs, s.SequentialIOs)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			if _, ok := byWorkers[w]; !ok {
+				t.Fatalf("%s: no point at %d workers", s.Name, w)
+			}
+		}
+		if sp := byWorkers[4].Speedup; sp < 2 {
+			t.Fatalf("%s: speedup %.3f at 4 workers, want >= 2", s.Name, sp)
+		}
+		if sp := byWorkers[1].Speedup; sp != 1 {
+			t.Fatalf("%s: speedup %.3f at 1 worker, want exactly 1", s.Name, sp)
+		}
+	}
+}
+
+// BenchmarkParallelScan runs the full partitioned-scan series (all
+// worker counts, both scan shapes) once per iteration; the interesting
+// output is deterministic simulated I/O, not wall time, so CI runs it
+// with -benchtime=1x as a smoke check.
+func BenchmarkParallelScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelScanBenchmarks(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

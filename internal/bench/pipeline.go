@@ -296,10 +296,12 @@ type PipelineResult struct {
 }
 
 // PipelineReport pairs the raw measurements with the batched-over-
-// per-entry speedup of each pipeline stage.
+// per-entry speedup of each pipeline stage, plus the partitioned-scan
+// speedup series across worker counts (see parallelscan.go).
 type PipelineReport struct {
-	Results []PipelineResult   `json:"results"`
-	Speedup map[string]float64 `json:"speedup"`
+	Results       []PipelineResult     `json:"results"`
+	Speedup       map[string]float64   `json:"speedup"`
+	ParallelScans []ParallelScanSeries `json:"parallel_scans"`
 }
 
 // RunPipeline measures every pipeline leg through testing.Benchmark
@@ -332,6 +334,11 @@ func RunPipeline() (*PipelineReport, error) {
 			rep.Speedup[stage] = ns[0] / ns[1]
 		}
 	}
+	scans, err := ParallelScanBenchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rep.ParallelScans = scans
 	return rep, nil
 }
 

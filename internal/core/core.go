@@ -25,6 +25,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"rdbdyn/internal/catalog"
@@ -211,6 +212,35 @@ type Config struct {
 	// are emitted. The sink must be safe for concurrent use (see
 	// TraceSink) and adds no simulated I/O.
 	Trace TraceSink
+	// Parallelism is the intra-query worker budget for partitioned
+	// scans and goroutine race legs. 0 or 1 keeps the paper-faithful
+	// single-goroutine cooperative scheduler (the default — all
+	// experiments run there); a negative value resolves to
+	// runtime.GOMAXPROCS(0); values above 1 are honored as given (the
+	// simulated cost model is deterministic regardless of the physical
+	// core count). Parallel execution preserves result rows, attributed
+	// I/O totals, and Metrics exactly; see DESIGN.md for the invariants.
+	Parallelism int
+}
+
+// maxParallelism caps the worker fan-out per scan; a backstop against
+// absurd knob values, far above any useful width.
+const maxParallelism = 64
+
+// effectiveWorkers resolves the Parallelism knob to a concrete worker
+// count (>= 1).
+func (c Config) effectiveWorkers() int {
+	p := c.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > maxParallelism {
+		p = maxParallelism
+	}
+	return p
 }
 
 // DefaultConfig returns the paper's settings.

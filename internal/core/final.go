@@ -42,10 +42,12 @@ type finalStage struct {
 	pfPos   int      // rids index the prefetcher has examined (monotonic)
 	scratch expr.Row // decode scratch; delivered rows are copied out
 
-	done bool
+	workers int // intra-query worker budget (see parallel.go)
+	parDone bool
+	done    bool
 }
 
-func newFinalStage(ec *ExecCtx, q *Query, c *rid.Container, delivered []storage.RID, out *rowQueue) (*finalStage, error) {
+func newFinalStage(ec *ExecCtx, q *Query, c *rid.Container, delivered []storage.RID, out *rowQueue, workers int) (*finalStage, error) {
 	if c == nil {
 		return nil, errors.New("core: final stage without a RID list")
 	}
@@ -57,12 +59,13 @@ func newFinalStage(ec *ExecCtx, q *Query, c *rid.Container, delivered []storage.
 	// sorted order makes duplicates adjacent.
 	rids = dedupSorted(rids)
 	f := &finalStage{
-		q:     q,
-		rids:  rids,
-		out:   out,
-		m:     newMeter(ec),
-		run:   make([]storage.RID, 0, finalFetchBudget),
-		pfbuf: make([]storage.PageID, 0, finalPrefetchWindow),
+		q:       q,
+		rids:    rids,
+		out:     out,
+		m:       newMeter(ec),
+		run:     make([]storage.RID, 0, finalFetchBudget),
+		pfbuf:   make([]storage.PageID, 0, finalPrefetchWindow),
+		workers: workers,
 	}
 	if len(delivered) > 0 {
 		f.exclude = rid.FromRIDs(delivered)
@@ -77,6 +80,14 @@ func (f *finalStage) release()      {} // materialized RID slice; no cursor held
 func (f *finalStage) step() (bool, error) {
 	if f.done {
 		return true, nil
+	}
+	// Eager partitioned fetch: only without a row limit (an eager fetch
+	// cannot stop early) and only from a fresh position.
+	if f.workers > 1 && f.q.Limit == 0 && f.pos == 0 && !f.parDone {
+		f.parDone = true
+		if handled, err := f.runParallelFetch(); handled || err != nil {
+			return f.done, err
+		}
 	}
 	f.prefetchAhead()
 	for fetches := 0; fetches < finalFetchBudget; {

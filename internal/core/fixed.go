@@ -96,7 +96,7 @@ func runFixed(ec *ExecCtx, q *Query, s FixedStrategy, cfg Config) (Rows, error) 
 	switch s.Kind {
 	case StrategyTscan:
 		r.tactic = tacticTscan
-		r.fg = newTscan(ec, run, r.out)
+		r.fg = newTscan(ec, run, r.out, cfg.effectiveWorkers())
 	case StrategySscan:
 		if s.Index == nil {
 			return nil, fmt.Errorf("core: Sscan strategy without index")

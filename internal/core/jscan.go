@@ -37,14 +37,22 @@ type jscan struct {
 
 	idx int // next index position to scan
 
-	// Current sequential scan.
-	cur      *btree.Cursor
+	// Current sequential scan: a streaming operator over the index's
+	// key range. Freshly opened scans are *btree.Cursor; a continued
+	// race loser arrives as whatever operator the leg ran on.
+	cur      Operator
 	curIx    *catalog.Index
+	curLo    []byte // the open scan's key range, kept for partitioning
+	curHi    []byte
 	local    expr.Expr
 	list     *rid.Container
 	seen     int
 	rangeEst float64
 	scan0    int64 // meter total at scan start
+	// partitionable marks a scan eligible for the partitioned parallel
+	// path: freshly opened (not a continued race loser), forward, with
+	// its range bounds on hand.
+	partitionable bool
 
 	// Racing pair, when active.
 	race *raceState
@@ -71,13 +79,11 @@ type jscan struct {
 	// run's initial stage).
 	onDone func(names []string)
 
-	// Batch scratch, shared by the sequential and race paths (steps are
-	// strictly sequential within one jscan). Sized to StepEntries on
-	// first use.
+	// Batch scratch for the single-goroutine paths (steps are strictly
+	// sequential within one jscan; goroutine race legs and partition
+	// workers allocate their own). Sized to StepEntries on first use.
 	batch []btree.Entry
-	keep  []bool
-	rbuf  []storage.RID // filter-probe input
-	obuf  []storage.RID // accepted-RID output
+	sc    *acceptScratch
 }
 
 type raceState struct {
@@ -94,6 +100,11 @@ type raceLeg struct {
 	cost0    int64
 	done     bool
 	dead     bool // abandoned by competition
+	// tr is the leg's own tracker when the race runs on goroutines
+	// (nil on the sequential interleaved path, where legs share the
+	// jscan meter). It is merged into the jscan meter at the race
+	// barrier, keeping per-query attribution exact.
+	tr *storage.Tracker
 }
 
 func newJscan(ec *ExecCtx, q *Query, cfg Config, model estimate.CostModel, ests []estimate.IndexEstimate, borrow *ridQueue, trc *tracer) *jscan {
@@ -185,7 +196,7 @@ func (j *jscan) step() (bool, error) {
 		return true, nil
 	}
 	if j.race != nil {
-		return j.done, j.stepRace()
+		return j.done, j.stepAnyRace()
 	}
 	if j.cur == nil {
 		if !j.startNextScan() {
@@ -194,9 +205,19 @@ func (j *jscan) step() (bool, error) {
 		}
 	}
 	if j.race != nil {
-		return j.done, j.stepRace()
+		return j.done, j.stepAnyRace()
 	}
 	return j.done, j.stepSequential()
+}
+
+// stepAnyRace dispatches an active race to the interleaved half-step
+// scheduler (paper default) or, under Parallelism > 1, to the
+// goroutine race that runs both legs concurrently to resolution.
+func (j *jscan) stepAnyRace() error {
+	if j.cfg.effectiveWorkers() > 1 {
+		return j.runRaceParallel()
+	}
+	return j.stepRace()
 }
 
 // finish concludes the joint scan: the last complete RID list is the
@@ -266,6 +287,8 @@ func (j *jscan) openSequential(e estimate.IndexEstimate) bool {
 	}
 	j.cur = cur
 	j.curIx = e.Index
+	j.curLo, j.curHi = e.Lo, e.Hi
+	j.partitionable = true
 	j.local = localRestriction(j.q.Restriction, e.Index)
 	j.list = rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
 	j.seen = 0
@@ -293,9 +316,7 @@ func (j *jscan) ensureBuffers() {
 		n = 1
 	}
 	j.batch = make([]btree.Entry, n)
-	j.keep = make([]bool, n)
-	j.rbuf = make([]storage.RID, n)
-	j.obuf = make([]storage.RID, 0, n)
+	j.sc = newAcceptScratch(n)
 }
 
 // stepSequential advances the current single-index scan by one step of
@@ -304,6 +325,9 @@ func (j *jscan) ensureBuffers() {
 // below fires at exactly the same entry counts as per-entry iteration.
 func (j *jscan) stepSequential() error {
 	j.ensureBuffers()
+	if handled, err := j.maybePartitionedScan(); handled || err != nil {
+		return err
+	}
 	budget := j.cfg.StepEntries
 	for budget > 0 {
 		lim := budget
@@ -358,41 +382,10 @@ func (j *jscan) stepSequential() error {
 	return nil
 }
 
-// acceptBatch applies the previous list's filter and the index-local
-// restriction to a batch of entries, returning the surviving RIDs in
-// scan order. The returned slice aliases an internal buffer valid until
-// the next call. The filter runs first as one bulk probe (both
-// predicates are pure, so the order does not change the kept set), and
-// — because the filter is now exact — every entry it rejects skips the
-// key decode entirely.
+// acceptBatch is acceptEntries over the jscan's own scratch, used by
+// the single-goroutine paths.
 func (j *jscan) acceptBatch(entries []btree.Entry, ix *catalog.Index, local expr.Expr, filter rid.Filter) ([]storage.RID, error) {
-	rids := j.rbuf[:len(entries)]
-	keep := j.keep[:len(entries)]
-	for i, e := range entries {
-		rids[i] = e.RID
-	}
-	rid.ApplyFilter(filter, rids, keep)
-	out := j.obuf[:0]
-	for i, e := range entries {
-		if !keep[i] {
-			continue
-		}
-		if local != nil {
-			row, err := ix.DecodeEntry(e.Key)
-			if err != nil {
-				return nil, err
-			}
-			ok, err := expr.EvalPred(local, row, j.q.Binds)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		out = append(out, e.RID)
-	}
-	return out, nil
+	return acceptEntries(entries, ix, local, j.q.Binds, filter, j.sc)
 }
 
 // completeScan adopts or rejects the finished RID list.
@@ -473,7 +466,16 @@ func (j *jscan) startRace(a, b estimate.IndexEstimate) bool {
 }
 
 func (j *jscan) openLeg(e estimate.IndexEstimate) (raceLeg, bool) {
-	cur, err := e.Index.Tree.SeekTracked(e.Lo, e.Hi, j.m.tr)
+	// On the goroutine race path each leg charges its own tracker
+	// (merged at the race barrier); the interleaved path keeps the
+	// shared meter, whose half-split approximates per-leg cost.
+	tr := j.m.tr
+	var legTr *storage.Tracker
+	if j.cfg.effectiveWorkers() > 1 {
+		legTr = storage.NewTracker(j.m.tr.Governor())
+		tr = legTr
+	}
+	cur, err := e.Index.Tree.SeekTracked(e.Lo, e.Hi, tr)
 	if err != nil {
 		return raceLeg{}, false
 	}
@@ -487,6 +489,7 @@ func (j *jscan) openLeg(e estimate.IndexEstimate) (raceLeg, bool) {
 		local:    localRestriction(j.q.Restriction, e.Index),
 		rangeEst: re,
 		cost0:    j.m.total(),
+		tr:       legTr,
 	}, true
 }
 
@@ -636,19 +639,28 @@ func (j *jscan) adoptRaceWinner(w *raceLeg) error {
 // nothing that cannot intersect survives into the continued list.
 func (j *jscan) continueLoser(l *raceLeg) {
 	j.ensureBuffers()
+	if l.tr != nil {
+		// The leg ran on its own tracker (goroutine race); its charges
+		// were merged at the barrier, so re-point the cursor at the
+		// shared meter and re-base scan0 so the continued scan's
+		// competition cost picks up where the leg left off.
+		l.cur.SetTracker(j.m.tr)
+		l.cost0 = j.m.total() - l.tr.IOCost()
+	}
 	j.cur = l.cur
 	j.curIx = l.ix
+	j.partitionable = false
 	j.local = l.local
 	j.list = rid.NewContainerTracked(j.q.Table.Pool(), j.cfg.RID, j.m.tr)
 	rest := l.rids
 	for len(rest) > 0 {
-		n := len(j.keep)
+		n := len(j.sc.keep)
 		if n > len(rest) {
 			n = len(rest)
 		}
-		keep := j.keep[:n]
+		keep := j.sc.keep[:n]
 		rid.ApplyFilter(j.filter, rest[:n], keep)
-		out := j.obuf[:0]
+		out := j.sc.obuf[:0]
 		for i, r := range rest[:n] {
 			if keep[i] {
 				out = append(out, r)

@@ -164,7 +164,7 @@ func (o *Optimizer) run(ec *ExecCtx, q *Query) (Rows, error) {
 			o.planUnion(ec, q, legs, r, model, goal)
 		} else {
 			r.tactic = tacticTscan
-			r.fg = newTscan(ec, q, r.out)
+			r.fg = newTscan(ec, q, r.out, o.cfg.effectiveWorkers())
 			r.trc.emit(TraceEvent{
 				Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Tscan",
 				EstimatedIO: model.TscanCost(), Detail: "no useful index",

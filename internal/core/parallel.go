@@ -1,0 +1,396 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rdbdyn/internal/btree"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// Partitioned intra-query execution (Config.Parallelism > 1).
+//
+// Three scan shapes fan out across workers, all with the same contract:
+// the fan-out happens entirely inside one step() call (the coordinator
+// waits on every worker before returning, so no goroutine ever outlives
+// a step), every worker charges its own storage.Tracker sharing the
+// query's Governor (live budget enforcement), the worker trackers merge
+// into the stage's meter at the barrier (Tracker.Merge is associative,
+// so attributed totals equal the sequential scan exactly), and worker
+// results merge in partition order (partitions are contiguous, so the
+// concatenation is the sequential output order).
+//
+// Eligibility is deliberately conservative: Limit must be 0 (early
+// termination is worth more than parallelism and an eager scan would
+// overpay), and the partitioned Jscan additionally requires
+// DisableCompetition (abandonment decisions are interleaved with
+// scanning; a scan that cannot be abandoned can run eagerly).
+//
+// Worker errors resolve deterministically to the lowest partition
+// index; a failing worker flips a shared stop flag so siblings unwind
+// at their next batch boundary (the buffer pool's governor checkpoint
+// bounds this to about one page access), and partial worker charges are
+// still merged so cancelled queries report exact attributed I/O.
+
+// parallelWorkerErr picks the terminal error: the lowest-index worker's.
+func parallelWorkerErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// runParallelScan is the eager partitioned Tscan: the heap's page range
+// splits into contiguous chunks, one bounded range cursor per worker.
+// Every heap page is read exactly once by exactly one worker — the same
+// multiset of page accesses as the sequential cursor — and each
+// worker's readahead window stays inside its own partition. Returns
+// false when the heap is too small to split.
+func (t *tscan) runParallelScan() (bool, error) {
+	npages := t.q.Table.Heap.NumPages()
+	k := t.workers
+	if k > npages {
+		k = npages
+	}
+	if k < 2 {
+		return false, nil
+	}
+	heap := t.q.Table.Heap
+	rows := make([][]expr.Row, k)
+	errs := make([]error, k)
+	trs := make([]*storage.Tracker, k)
+	gov := t.m.tr.Governor()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		start := storage.PageNo(i * npages / k)
+		end := storage.PageNo((i + 1) * npages / k)
+		tr := storage.NewTracker(gov)
+		trs[i] = tr
+		wg.Add(1)
+		go func(i int, start, end storage.PageNo, tr *storage.Tracker) {
+			defer wg.Done()
+			cur := heap.RangeCursorTracked(start, end, tr)
+			defer cur.Close()
+			for !stop.Load() {
+				rec, rrid, ok, err := cur.Next()
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				if !ok {
+					return
+				}
+				if t.exclude != nil && t.exclude.MayContain(rrid) {
+					continue
+				}
+				row, err := expr.DecodeRow(rec)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				keep, err := expr.EvalPred(t.q.Restriction, row, t.q.Binds)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				if keep {
+					rows[i] = append(rows[i], t.q.project(row))
+				}
+			}
+		}(i, start, end, tr)
+	}
+	wg.Wait()
+	// Merge charges before surfacing any error: attribution stays exact
+	// even for a query unwound mid-scan.
+	for _, tr := range trs {
+		t.m.tr.Merge(tr)
+	}
+	if err := parallelWorkerErr(errs); err != nil {
+		return false, err
+	}
+	for i := range rows {
+		for _, r := range rows[i] {
+			t.out.push(r)
+		}
+	}
+	t.done = true
+	return true, nil
+}
+
+// runParallelFetch is the eager partitioned final fetch: the sorted RID
+// list splits into contiguous chunks aligned to page boundaries (a
+// same-page run is never split across workers, so each data page is
+// span-fetched by exactly one worker and the hit/miss profile matches
+// the sequential clustered fetch). Returns false when the list does not
+// split.
+func (f *finalStage) runParallelFetch() (bool, error) {
+	k := f.workers
+	if k > len(f.rids)/(2*finalFetchBudget) {
+		k = len(f.rids) / (2 * finalFetchBudget)
+	}
+	if k < 2 {
+		return false, nil
+	}
+	// Chunk boundaries: the nominal even split, advanced to the next
+	// page transition.
+	starts := make([]int, 0, k+1)
+	starts = append(starts, 0)
+	for i := 1; i < k; i++ {
+		b := i * len(f.rids) / k
+		if b <= starts[len(starts)-1] {
+			continue
+		}
+		for b < len(f.rids) && f.rids[b].Page == f.rids[b-1].Page {
+			b++
+		}
+		if b >= len(f.rids) || b <= starts[len(starts)-1] {
+			continue
+		}
+		starts = append(starts, b)
+	}
+	if len(starts) < 2 {
+		return false, nil
+	}
+	starts = append(starts, len(f.rids))
+	n := len(starts) - 1
+	rows := make([][]expr.Row, n)
+	errs := make([]error, n)
+	trs := make([]*storage.Tracker, n)
+	gov := f.m.tr.Governor()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tr := storage.NewTracker(gov)
+		trs[i] = tr
+		wg.Add(1)
+		go func(i int, chunk []storage.RID, tr *storage.Tracker) {
+			defer wg.Done()
+			rows[i], errs[i] = f.fetchChunk(chunk, tr, &stop)
+		}(i, f.rids[starts[i]:starts[i+1]], tr)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		f.m.tr.Merge(tr)
+	}
+	if err := parallelWorkerErr(errs); err != nil {
+		return false, err
+	}
+	for i := range rows {
+		for _, r := range rows[i] {
+			f.out.push(r)
+		}
+	}
+	f.done = true
+	return true, nil
+}
+
+// fetchChunk runs one worker's share of the final fetch: same-page runs
+// of non-excluded RIDs, each span-fetched once, with a private prefetch
+// window staged ahead inside the chunk. Kept rows are returned in RID
+// order; they are copies (or projections), never aliases of the decode
+// scratch.
+func (f *finalStage) fetchChunk(chunk []storage.RID, tr *storage.Tracker, stop *atomic.Bool) ([]expr.Row, error) {
+	var out []expr.Row
+	var scratch expr.Row
+	pfbuf := make([]storage.PageID, 0, finalPrefetchWindow)
+	pfPos := 0
+	run := make([]storage.RID, 0, 16)
+	pos := 0
+	for pos < len(chunk) {
+		if stop.Load() {
+			return out, nil
+		}
+		// Stage upcoming pages of this chunk (accounting-free).
+		if pfPos < pos {
+			pfPos = pos
+		}
+		if pfPos < len(chunk) {
+			buf := pfbuf[:0]
+			var last storage.PageID
+			for pfPos < len(chunk) && len(buf) < finalPrefetchWindow {
+				pg := chunk[pfPos].Page
+				if len(buf) == 0 || pg != last {
+					buf = append(buf, pg)
+					last = pg
+				}
+				pfPos++
+			}
+			f.q.Table.Pool().Prefetch(buf)
+		}
+		// Collect the next same-page run of non-excluded RIDs.
+		run = run[:0]
+		var page storage.PageID
+		for pos < len(chunk) {
+			r := chunk[pos]
+			if f.exclude != nil && f.exclude.MayContain(r) {
+				pos++
+				continue
+			}
+			if len(run) > 0 && r.Page != page {
+				break
+			}
+			page = r.Page
+			run = append(run, r)
+			pos++
+		}
+		if len(run) == 0 {
+			break
+		}
+		p, err := f.q.Table.Heap.GetSpanTracked(page, len(run), tr)
+		if err != nil {
+			stop.Store(true)
+			return out, err
+		}
+		for _, r := range run {
+			rec, err := p.Get(r.Slot)
+			if err != nil {
+				stop.Store(true)
+				return out, err
+			}
+			row, err := expr.DecodeRowInto(rec, scratch)
+			if err != nil {
+				stop.Store(true)
+				return out, err
+			}
+			scratch = row
+			keep, err := expr.EvalPred(f.q.Restriction, row, f.q.Binds)
+			if err != nil {
+				stop.Store(true)
+				return out, err
+			}
+			if keep {
+				if f.q.Projection == nil {
+					row = append(expr.Row(nil), row...)
+				}
+				out = append(out, f.q.project(row))
+			}
+		}
+	}
+	return out, nil
+}
+
+// maybePartitionedScan is the eager partitioned Jscan: when competition
+// is disabled (the scan cannot be abandoned mid-flight) the current
+// index scan's key range splits into leaf-aligned partitions and every
+// worker filters its own slice through the shared (read-only) bitmap
+// filter and a private accept scratch. Worker 0 continues on the
+// already-opened cursor — whose tracked Seek charged the shared descent
+// exactly as a sequential scan would — while later workers open
+// directly on their first leaf for one charge apiece. Returns handled
+// when the scan completed (or failed) under the parallel path.
+func (j *jscan) maybePartitionedScan() (bool, error) {
+	workers := j.cfg.effectiveWorkers()
+	if workers < 2 || !j.partitionable || j.seen != 0 ||
+		!j.cfg.DisableCompetition || j.q.Limit != 0 || j.borrow != nil {
+		// A jscan created with a borrow queue (fast-first) can be killed
+		// the moment the foreground finishes delivering; how far it got by
+		// then is observable in the query's attributed I/O, so it must
+		// progress at the sequential step cadence, never eagerly.
+		return false, nil
+	}
+	cur, ok := j.cur.(*btree.Cursor)
+	if !ok {
+		return false, nil
+	}
+	parts, err := j.curIx.Tree.PartitionRange(j.curLo, j.curHi, workers)
+	if err != nil || len(parts) < 2 {
+		// Planning trouble or a range too small to split: scan
+		// sequentially. Planning is accounting-free, so falling back
+		// costs nothing.
+		return false, nil
+	}
+	tree := j.curIx.Tree
+	n := len(parts)
+	rids := make([][]storage.RID, n)
+	seen := make([]int, n)
+	errs := make([]error, n)
+	trs := make([]*storage.Tracker, n)
+	gov := j.m.tr.Governor()
+	batchN := j.cfg.StepEntries
+	if batchN < 1 {
+		batchN = 1
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tr := storage.NewTracker(gov)
+		trs[i] = tr
+		wg.Add(1)
+		go func(i int, part btree.RangePartition, tr *storage.Tracker) {
+			defer wg.Done()
+			var src Operator
+			if i == 0 {
+				src = cur // descent already charged to the shared meter
+			} else {
+				c, err := tree.SeekPartitionLeaf(part.Leaf, j.curHi, tr)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				src = c
+			}
+			defer src.Close()
+			if i < n-1 {
+				// Interior partitions own whole leaves; the exact count
+				// stops them at their boundary without touching the next
+				// worker's first leaf. The last partition terminates on
+				// the range bound like a sequential scan.
+				src = &boundedOp{src: src, remaining: part.Count}
+			}
+			batch := make([]btree.Entry, batchN)
+			sc := newAcceptScratch(batchN)
+			for !stop.Load() {
+				cnt, err := src.NextBatch(batch)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				if cnt == 0 {
+					return
+				}
+				seen[i] += cnt
+				kept, err := acceptEntries(batch[:cnt], j.curIx, j.local, j.q.Binds, j.filter, sc)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				rids[i] = append(rids[i], kept...)
+			}
+		}(i, parts[i], tr)
+	}
+	wg.Wait()
+	for _, tr := range trs {
+		j.m.tr.Merge(tr)
+	}
+	if err := parallelWorkerErr(errs); err != nil {
+		return true, err
+	}
+	for i := range parts {
+		j.seen += seen[i]
+		if len(rids[i]) == 0 {
+			continue
+		}
+		if err := j.list.AppendBatch(rids[i]); err != nil {
+			return true, err
+		}
+		if j.borrowActive {
+			for _, r := range rids[i] {
+				j.borrow.push(r)
+			}
+		}
+	}
+	// Worker cursors are closed (worker 0's is the scan cursor, whose
+	// pin the bounded stop left behind); completeScan adopts the list
+	// exactly as it would after sequential exhaustion.
+	return true, j.completeScan()
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// equivRun captures everything the deterministic-equivalence suite
+// compares between a sequential and a parallel execution of one query.
+type equivRun struct {
+	rows     []string
+	tactic   string
+	strategy string
+	io       storage.IOStats
+	estimate int64
+	fgRows   int
+	finalLen int
+	snap     MetricsSnapshot
+}
+
+// runEquiv executes q on a fresh optimizer (own metrics) at the given
+// parallelism, against a cold pool, with racing off (race outcomes are
+// scheduling-dependent by design) and competition off (the partitioned
+// Jscan path requires it, and abandonment timing is step-cadence
+// shaped). Determinism everywhere else is the claim under test.
+func runEquiv(t *testing.T, f *fixture, q *Query, parallelism int) equivRun {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Parallelism = parallelism
+	cfg.RaceFactor = -1
+	cfg.DisableCompetition = true
+	o := NewOptimizer(cfg)
+	f.pool.EvictAll()
+	rows := o.Run(q)
+	got := drain(t, rows)
+	if n := f.pool.PinnedPages(); n != 0 {
+		t.Fatalf("parallelism=%d leaked %d pins", parallelism, n)
+	}
+	st := rows.Stats()
+	keys := make([]string, len(got))
+	for i, r := range got {
+		keys[i] = rowKey(r)
+	}
+	return equivRun{
+		rows:     keys,
+		tactic:   st.Tactic,
+		strategy: st.Strategy,
+		io:       st.IO,
+		estimate: st.EstimateIO,
+		fgRows:   st.FgRows,
+		finalLen: st.FinalListLen,
+		snap:     o.Metrics().Snapshot(),
+	}
+}
+
+// TestParallelEquivalenceAllTactics is the deterministic-equivalence
+// suite: for every tactic shape, a run at Parallelism in {2, 4, NumCPU}
+// must deliver the identical rows in the identical order, charge the
+// identical attributed I/O (reads, writes, and hits separately — not
+// just the cost sum), and move the cumulative metrics identically to
+// the paper-faithful sequential run. Parallelism=0 is the baseline, so
+// this is also the proof that the knob's default changes nothing.
+func TestParallelEquivalenceAllTactics(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY")
+	age, city, salary := f.col(t, "AGE"), f.col(t, "CITY"), f.col(t, "SALARY")
+
+	queries := []struct {
+		name string
+		q    *Query
+	}{
+		{"tscan", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.GE, expr.Col(salary, "SALARY"), expr.Lit(expr.Float(5000))),
+		}},
+		{"background-only", bgQuery(f, t, GoalTotalTime)},
+		{"fast-first", bgQuery(f, t, GoalFastFirst)},
+		{"index-only", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(30))),
+			Projection:  []int{age},
+		}},
+		{"sorted", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.LT, expr.Col(city, "CITY"), expr.Lit(expr.Int(40))),
+			OrderBy:     []int{salary},
+		}},
+		{"ordered-index", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(25))),
+			OrderBy:     []int{age},
+		}},
+		{"union", &Query{
+			Table: f.tab,
+			Restriction: expr.NewOr(
+				expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(5))),
+				expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(7))),
+			),
+		}},
+	}
+	widths := []int{2, 4, runtime.NumCPU()}
+
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runEquiv(t, f, tc.q, 0)
+			if len(base.rows) == 0 {
+				t.Fatalf("degenerate fixture: %s query delivered no rows", tc.name)
+			}
+			for _, w := range widths {
+				par := runEquiv(t, f, tc.q, w)
+				if par.tactic != base.tactic || par.strategy != base.strategy {
+					t.Fatalf("w=%d: tactic/strategy %s/%s, sequential %s/%s",
+						w, par.tactic, par.strategy, base.tactic, base.strategy)
+				}
+				if !reflect.DeepEqual(par.rows, base.rows) {
+					t.Fatalf("w=%d: %d rows vs %d, or order diverged", w, len(par.rows), len(base.rows))
+				}
+				if par.io != base.io {
+					t.Fatalf("w=%d: attributed I/O %+v, sequential %+v", w, par.io, base.io)
+				}
+				if par.estimate != base.estimate {
+					t.Fatalf("w=%d: estimation I/O %d, sequential %d", w, par.estimate, base.estimate)
+				}
+				if par.fgRows != base.fgRows || par.finalLen != base.finalLen {
+					t.Fatalf("w=%d: fg=%d final=%d, sequential fg=%d final=%d",
+						w, par.fgRows, par.finalLen, base.fgRows, base.finalLen)
+				}
+				if !reflect.DeepEqual(par.snap, base.snap) {
+					t.Fatalf("w=%d: metrics delta diverged:\n par %+v\n seq %+v", w, par.snap, base.snap)
+				}
+			}
+		})
+	}
+}
+
+// raceQuery builds a restriction whose two index estimates are both
+// inexact ranges, so a positive RaceFactor always starts a race.
+func raceQuery(f *fixture, t *testing.T) *Query {
+	age, city := f.col(t, "AGE"), f.col(t, "CITY")
+	return &Query{
+		Table: f.tab,
+		Restriction: expr.NewAnd(
+			expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(20))),
+			expr.NewCmp(expr.LT, expr.Col(city, "CITY"), expr.Lit(expr.Int(50))),
+		),
+		Goal: GoalTotalTime,
+	}
+}
+
+// waitGoroutines fails the test if the process goroutine count does not
+// return to the pre-run baseline: a worker or race leg outlived its
+// barrier. Parallel fan-outs are barrier-synchronous inside one step,
+// so nothing should linger beyond Close.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines alive, baseline %d: orphaned parallel workers", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelRaceAuditWinnerAdoption runs goroutine race legs to
+// natural resolution (winner adoption + loser continuation) and audits
+// the aftermath: correct rows, a race actually having started, zero
+// leaked pins, zero orphaned goroutines. Run under -race in CI.
+func TestParallelRaceAuditWinnerAdoption(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY")
+	q := raceQuery(f, t)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 2
+	cfg.RaceFactor = 1000 // adjacent estimates always race
+
+	baseline := runtime.NumGoroutine()
+	o := NewOptimizer(cfg)
+	rows := o.Run(q)
+	got := drain(t, rows)
+	sameMultiset(t, got, f.naive(t, q), "goroutine race")
+	st := rows.Stats()
+	if !hasEvent(st, EvRaceStarted, "") {
+		t.Fatalf("no race started; trace: %v", st.Trace)
+	}
+	if n := f.pool.PinnedPages(); n != 0 {
+		t.Fatalf("%d pins leaked after goroutine race", n)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestParallelRaceAuditCancellation cancels the query the moment its
+// race starts, so the goroutine legs are unwound by the governor
+// checkpoint instead of finishing. Both legs must come back through the
+// barrier, the cancellation must surface exactly once, and neither pins
+// nor goroutines may leak.
+func TestParallelRaceAuditCancellation(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY")
+	q := raceQuery(f, t)
+	cfg := DefaultConfig()
+	cfg.Parallelism = 2
+	cfg.RaceFactor = 1000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	baseline := runtime.NumGoroutine()
+	ec := NewExecCtx(ctx, 0).WithTrace(&eventTrigger{kind: EvRaceStarted, fire: cancel})
+	o := NewOptimizer(cfg)
+	rows := o.RunExec(ec, q)
+	if _, err := drainToErr(rows); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	checkCancelled(t, f, rows, o, false, false)
+	waitGoroutines(t, baseline)
+}
+
+// TestParallelCancellationSweep is the cancellation/deadline/budget
+// sweep over the partitioned parallel paths (satellite of the
+// parallelism work): each mode must surface its error exactly once per
+// query — counted by the cumulative metrics — with every worker unwound
+// through the barrier, no pins held, and no goroutines orphaned.
+func TestParallelCancellationSweep(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY")
+	salary := f.col(t, "SALARY")
+	tscanQ := &Query{
+		Table:       f.tab,
+		Restriction: expr.NewCmp(expr.GE, expr.Col(salary, "SALARY"), expr.Lit(expr.Float(0))),
+	}
+	// Budgets are sized to trip inside each query's partitioned fan-out:
+	// the tscan charges hundreds of heap reads, the jscan's partitioned
+	// IX_AGE scan spans roughly I/Os 5..12 of its query.
+	queries := map[string]struct {
+		q      *Query
+		budget int64
+	}{
+		"partitioned-tscan": {tscanQ, 25},
+		"partitioned-jscan": {bgQuery(f, t, GoalTotalTime), 8},
+	}
+	const workers = 4
+
+	for qname, tc := range queries {
+		q, budget := tc.q, tc.budget
+		t.Run(qname+"/canceled", func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = workers
+			cfg.DisableCompetition = true
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			baseline := runtime.NumGoroutine()
+			// Fire on the tactic choice: the first parallel fan-out after
+			// it hits the governor checkpoint already cancelled.
+			ec := NewExecCtx(ctx, 0).WithTrace(&eventTrigger{kind: EvTacticChosen, fire: cancel})
+			o := NewOptimizer(cfg)
+			f.pool.EvictAll()
+			rows := o.RunExec(ec, q)
+			if _, err := drainToErr(rows); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			checkCancelled(t, f, rows, o, false, false)
+			waitGoroutines(t, baseline)
+		})
+
+		t.Run(qname+"/budget", func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = workers
+			cfg.DisableCompetition = true
+			baseline := runtime.NumGoroutine()
+			ec := NewExecCtx(context.Background(), budget)
+			o := NewOptimizer(cfg)
+			f.pool.EvictAll()
+			rows := o.RunExec(ec, q)
+			if _, err := drainToErr(rows); !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+			}
+			// Workers check the governor before each page access, so the
+			// overshoot past the budget is bounded by the in-flight
+			// accesses: strictly fewer than one per worker.
+			if spent := ec.IOSpent(); spent < budget || spent >= budget+workers {
+				t.Fatalf("spent %d simulated I/Os, want within [%d, %d)", spent, budget, budget+workers)
+			}
+			checkCancelled(t, f, rows, o, false, true)
+			waitGoroutines(t, baseline)
+		})
+
+		t.Run(qname+"/deadline", func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = workers
+			cfg.DisableCompetition = true
+			ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+			defer cancel()
+			baseline := runtime.NumGoroutine()
+			// Sleeping past the deadline inside the trace sink guarantees
+			// the expiry lands mid-retrieval without timing flakiness.
+			ec := NewExecCtx(ctx, 0).WithTrace(&eventTrigger{
+				kind: EvTacticChosen,
+				fire: func() { time.Sleep(60 * time.Millisecond) },
+			})
+			o := NewOptimizer(cfg)
+			f.pool.EvictAll()
+			rows := o.RunExec(ec, q)
+			if _, err := drainToErr(rows); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			checkCancelled(t, f, rows, o, true, false)
+			waitGoroutines(t, baseline)
+		})
+	}
+}
+
+// TestParallelismKnobResolution pins the knob's contract: 0 and 1 stay
+// sequential, negatives resolve to GOMAXPROCS, large values clamp, and
+// WithDefaults leaves 0 alone (the fidelity guarantee EXPERIMENTS
+// depends on).
+func TestParallelismKnobResolution(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{-1, runtime.GOMAXPROCS(0)},
+		{maxParallelism + 50, maxParallelism},
+	}
+	for _, c := range cases {
+		if got := (Config{Parallelism: c.in}).effectiveWorkers(); got != c.want {
+			t.Fatalf("effectiveWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := (Config{}).WithDefaults().Parallelism; got != 0 {
+		t.Fatalf("WithDefaults set Parallelism = %d, want 0 (sequential default)", got)
+	}
+	if got := NewOptimizer(Config{Parallelism: 4}).Config().Parallelism; got != 4 {
+		t.Fatalf("optimizer dropped Parallelism: %d", got)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rdbdyn/internal/btree"
+)
+
+// Goroutine race legs (Config.Parallelism > 1).
+//
+// The paper's race — two adjacent indexes whose estimates are too close
+// to call, scanned "simultaneously" — runs by default as interleaved
+// half-steps on the cooperative scheduler. With a worker budget the two
+// legs instead run on real goroutines to resolution inside a single
+// step() call: each leg owns its cursor, batch scratch, and tracker
+// (created in openLeg), the first leg to exhaust its range claims the
+// win with a compare-and-swap, and the loser observes the win at its
+// next batch boundary and parks with its cursor open so the standard
+// continueLoser path can refilter and resume it. Leg trackers merge
+// into the jscan meter at the barrier, so per-query attributed I/O is
+// exact; only the point at which the losing leg stops — and hence the
+// race's total cost — depends on scheduling, which is the paper's own
+// characterization of a race (the winner is a runtime outcome, not a
+// plan property).
+//
+// Competition can still kill a leg mid-race: each leg re-projects its
+// final-stage cost every StepEntries entries against the guaranteed
+// best (frozen for the duration of the race; the shared filter and
+// model are read-only) using its own tracker's exact charges — the
+// interleaved path has to approximate per-leg cost as half the shared
+// meter's delta, so the goroutine race is *more* faithful to the
+// paper's per-scan accounting, not less. A killed leg closes its own
+// cursor, buffers its abandonment event, and lets the sibling race on.
+// Events are emitted by the coordinator after the barrier in leg order,
+// keeping TraceEvent sequence numbers single-writer.
+func (j *jscan) runRaceParallel() error {
+	r := j.race
+	batchN := j.cfg.StepEntries
+	if batchN < 1 {
+		batchN = 1
+	}
+	memBudget := j.cfg.RID.MemBudget
+
+	var (
+		stopWin atomic.Int32 // 1+legIndex of the first leg to finish
+		stopMem atomic.Bool  // a leg hit the in-memory RID budget
+		stopErr atomic.Bool
+		errs    [2]error
+		events  [2][]TraceEvent
+		wg      sync.WaitGroup
+	)
+	stopped := func() bool {
+		return stopErr.Load() || stopMem.Load() || stopWin.Load() != 0
+	}
+
+	legs := [2]*raceLeg{&r.a, &r.b}
+	for li, leg := range legs {
+		if leg.done || leg.dead {
+			continue
+		}
+		wg.Add(1)
+		go func(li int, leg *raceLeg) {
+			defer wg.Done()
+			batch := make([]btree.Entry, batchN)
+			sc := newAcceptScratch(batchN)
+			lastCheck := 0
+			for !stopped() {
+				n, err := leg.cur.NextBatch(batch)
+				if err != nil {
+					errs[li] = err
+					stopErr.Store(true)
+					return
+				}
+				if n == 0 {
+					leg.done = true
+					stopWin.CompareAndSwap(0, int32(li+1))
+					return
+				}
+				leg.seen += n
+				kept, err := acceptEntries(batch[:n], leg.ix, leg.local, j.q.Binds, j.filter, sc)
+				if err != nil {
+					errs[li] = err
+					stopErr.Store(true)
+					return
+				}
+				leg.rids = append(leg.rids, kept...)
+				if memBudget > 0 && len(leg.rids) >= memBudget {
+					stopMem.Store(true)
+					return
+				}
+				if !j.cfg.DisableCompetition && leg.seen >= j.cfg.StepEntries &&
+					leg.seen-lastCheck >= j.cfg.StepEntries {
+					lastCheck = leg.seen
+					frac := float64(leg.seen) / leg.rangeEst
+					if frac > 1 {
+						frac = 1
+					}
+					projFinal := j.model.JscanFinalCost(float64(len(leg.rids)) / frac)
+					// The leg's own tracker gives its exact scan cost —
+					// no half-split approximation needed.
+					if j.cfg.Criterion.Abandon(projFinal, float64(leg.tr.IOCost()), j.currentGuaranteedBest()) {
+						leg.dead = true
+						leg.cur.Close()
+						events[li] = append(events[li], TraceEvent{
+							Kind: EvScanAbandoned, Scan: j.name(), Indexes: []string{leg.ix.Name},
+							EstimatedIO: projFinal,
+							Detail:      fmt.Sprintf("race leg abandoned (proj final %.0f)", projFinal),
+						})
+						return
+					}
+				}
+			}
+		}(li, leg)
+	}
+	wg.Wait()
+
+	// Merge both legs' charges before anything can error out: attributed
+	// I/O stays exact even for a query unwound mid-race.
+	for _, leg := range legs {
+		if leg.tr != nil {
+			j.m.tr.Merge(leg.tr)
+		}
+	}
+	for li := range events {
+		for _, ev := range events[li] {
+			ev.ActualIO = j.m.cost()
+			j.trc.emit(ev)
+		}
+	}
+	if stopErr.Load() {
+		// j.race stays set: bgKill owns the cursor cleanup for legs that
+		// were not killed by competition.
+		if errs[0] != nil {
+			return errs[0]
+		}
+		return errs[1]
+	}
+
+	// Resolution mirrors the interleaved scheduler's endgame.
+	switch {
+	case stopWin.Load() != 0:
+		wi := int(stopWin.Load()) - 1
+		winner, loser := legs[wi], legs[1-wi]
+		j.race = nil
+		if err := j.adoptRaceWinner(winner); err != nil {
+			loser.cur.Close()
+			return err
+		}
+		if !loser.dead {
+			j.continueLoser(loser)
+		} else if j.cur == nil {
+			if !j.startNextScan() {
+				j.finish()
+			}
+		}
+	case stopMem.Load():
+		keep, drop := &r.a, &r.b
+		if len(r.b.rids) < len(r.a.rids) {
+			keep, drop = &r.b, &r.a
+		}
+		if keep.dead {
+			// The shorter leg was killed by competition before the other
+			// overflowed; the surviving leg is the only continuation.
+			keep, drop = drop, keep
+		}
+		if !drop.dead {
+			drop.cur.Close()
+		}
+		j.race = nil
+		j.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{keep.ix.Name, drop.ix.Name},
+			ActualIO: j.m.cost(),
+			Detail:   fmt.Sprintf("race hit memory budget, continuing %s, dropping %s", keep.ix.Name, drop.ix.Name),
+		})
+		j.continueLoser(keep)
+	default: // both legs dead
+		j.race = nil
+		j.trc.emit(TraceEvent{
+			Kind: EvRaceResolved, Scan: j.name(), Indexes: []string{r.a.ix.Name, r.b.ix.Name},
+			ActualIO: j.m.cost(), Detail: "both race legs abandoned",
+		})
+		if !j.startNextScan() {
+			j.finish()
+		}
+	}
+	return nil
+}

@@ -104,10 +104,12 @@ type tscan struct {
 	m       meter
 	exclude *rid.CompressedBitmap
 	rpp     int // rows per page, the per-step record budget
+	workers int // intra-query worker budget (see parallel.go)
+	parDone bool
 	done    bool
 }
 
-func newTscan(ec *ExecCtx, q *Query, out *rowQueue) *tscan {
+func newTscan(ec *ExecCtx, q *Query, out *rowQueue, workers int) *tscan {
 	pages := q.Table.Pages()
 	rpp := 1
 	if pages > 0 {
@@ -115,11 +117,12 @@ func newTscan(ec *ExecCtx, q *Query, out *rowQueue) *tscan {
 	}
 	m := newMeter(ec)
 	return &tscan{
-		q:   q,
-		cur: q.Table.Heap.CursorTracked(m.tr),
-		out: out,
-		m:   m,
-		rpp: rpp,
+		q:       q,
+		cur:     q.Table.Heap.CursorTracked(m.tr),
+		out:     out,
+		m:       m,
+		rpp:     rpp,
+		workers: workers,
 	}
 }
 
@@ -130,6 +133,15 @@ func (t *tscan) release()      { t.cur.Close() }
 func (t *tscan) step() (bool, error) {
 	if t.done {
 		return true, nil
+	}
+	// Eager partitioned scan: only without a row limit (an eager scan
+	// cannot stop early) and only as the very first step (a scan that
+	// already made sequential progress keeps its cursor position).
+	if t.workers > 1 && t.q.Limit == 0 && !t.parDone {
+		t.parDone = true
+		if handled, err := t.runParallelScan(); handled || err != nil {
+			return t.done, err
+		}
 	}
 	for i := 0; i < t.rpp; i++ {
 		rec, rrid, ok, err := t.cur.Next()

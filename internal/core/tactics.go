@@ -336,7 +336,7 @@ func (r *retrieval) onBgDone() error {
 				Indexes: r.bg.bgNames(), EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 				Detail: "background recommends Tscan, switching",
 			})
-			r.replaceFg(newTscan(r.ec, r.q, r.out))
+			r.replaceFg(newTscan(r.ec, r.q, r.out, r.cfg.effectiveWorkers()))
 			return nil
 		}
 		return r.enterFinal(nil)
@@ -377,7 +377,7 @@ func (r *retrieval) bgResolveFastFirst() error {
 			EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 			Detail: "background recommends Tscan for the remainder",
 		})
-		ts := newTscan(r.ec, r.q, r.out)
+		ts := newTscan(r.ec, r.q, r.out, r.cfg.effectiveWorkers())
 		if len(delivered) > 0 {
 			ts.exclude = rid.FromRIDs(delivered)
 		}
@@ -475,7 +475,7 @@ func (r *retrieval) control() error {
 
 // enterFinal switches the retrieval into its final stage.
 func (r *retrieval) enterFinal(delivered []storage.RID) error {
-	fin, err := newFinalStage(r.ec, r.q, r.bg.bgComplete(), delivered, r.out)
+	fin, err := newFinalStage(r.ec, r.q, r.bg.bgComplete(), delivered, r.out, r.cfg.effectiveWorkers())
 	if err != nil {
 		return err
 	}

@@ -173,17 +173,29 @@ func (h *HeapFile) CursorTracked(tr *Tracker) *HeapCursor {
 	return &HeapCursor{heap: h, page: 0, slot: -1, tr: tr}
 }
 
+// RangeCursorTracked returns a cursor over the half-open physical page
+// range [start, end), charging every page fetch to tr. Partitioned
+// Tscan hands each worker one contiguous range: the union of the
+// workers' page fetches is exactly the sequential cursor's fetches, and
+// the bounded readahead window keeps each worker's prefetch inside its
+// own partition.
+func (h *HeapFile) RangeCursorTracked(start, end PageNo, tr *Tracker) *HeapCursor {
+	return &HeapCursor{heap: h, page: start, slot: -1, tr: tr, limit: end, bounded: true}
+}
+
 // HeapCursor iterates records in physical (page, slot) order. It pins
 // its current page and unpins it on page transitions, exhaustion, or
 // Close; callers abandoning the cursor early must Close it.
 type HeapCursor struct {
-	heap   *HeapFile
-	page   PageNo
-	slot   int
-	cur    *Page
-	pinned bool
-	tr     *Tracker
-	ra     [heapReadahead]PageID // scratch for readahead IDs
+	heap    *HeapFile
+	page    PageNo
+	slot    int
+	cur     *Page
+	pinned  bool
+	tr      *Tracker
+	limit   PageNo // exclusive upper page bound when bounded
+	bounded bool
+	ra      [heapReadahead]PageID // scratch for readahead IDs
 }
 
 // heapReadahead is the page window a sequential heap cursor stages
@@ -192,10 +204,20 @@ type HeapCursor struct {
 // the physical reads are overlapped.
 const heapReadahead = 8
 
+// bound returns the exclusive page number the cursor stops at: the end
+// of its range partition if bounded, else the current heap size.
+func (c *HeapCursor) bound() PageNo {
+	n := PageNo(c.heap.NumPages())
+	if c.bounded && c.limit < n {
+		n = c.limit
+	}
+	return n
+}
+
 // Next advances to the next live record. It returns the record, its
 // RID, and false when the scan is exhausted.
 func (c *HeapCursor) Next() ([]byte, RID, bool, error) {
-	n := PageNo(c.heap.NumPages())
+	n := c.bound()
 	for c.page < n {
 		if c.cur == nil || c.cur.ID.No != c.page {
 			p, err := c.heap.pool.GetTracked(PageID{File: c.heap.file, No: c.page}, c.tr)
@@ -252,14 +274,14 @@ func (c *HeapCursor) unpin() {
 // has already unpinned itself.
 func (c *HeapCursor) Close() {
 	c.unpin()
-	c.page = PageNo(c.heap.NumPages())
+	c.page = c.bound()
 	c.slot = -1
 }
 
 // PagesRemaining reports how many pages the cursor has not yet entered.
 // Competition uses it to project the remaining Tscan cost.
 func (c *HeapCursor) PagesRemaining() int {
-	n := c.heap.NumPages()
+	n := int(c.bound())
 	done := int(c.page)
 	if done > n {
 		done = n

@@ -213,6 +213,29 @@ func (t *Tracker) IOCost() int64 {
 	return t.reads.Load() + t.writes.Load()
 }
 
+// MergeStats folds a counter snapshot into t. Merging is associative
+// and commutative (the counters are sums), so any partition of a scan's
+// charges across worker trackers, merged in any order and grouping,
+// equals the sequential total — the invariant partitioned scans rely on
+// for exact per-query attribution.
+//
+// The governor is deliberately NOT charged: worker trackers share the
+// query's governor and charged it live at access time, so a merge is
+// pure bookkeeping and the budget is never double-counted.
+func (t *Tracker) MergeStats(s IOStats) {
+	if t == nil {
+		return
+	}
+	t.reads.Add(s.Reads)
+	t.writes.Add(s.Writes)
+	t.hits.Add(s.Hits)
+}
+
+// Merge folds a snapshot of o's counters into t (see MergeStats). o may
+// be nil or may keep accumulating afterwards; only the charges recorded
+// at snapshot time move.
+func (t *Tracker) Merge(o *Tracker) { t.MergeStats(o.Stats()) }
+
 // Reset zeroes the tracker.
 func (t *Tracker) Reset() {
 	if t == nil {
