@@ -31,6 +31,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchout := flag.String("benchout", "", "run the vectorized-pipeline microbenchmarks and write JSON results to this file (e.g. BENCH_pipeline.json)")
+	cache := flag.Bool("cache", false, "run the plan-cache warm-vs-cold benchmark and write BENCH_cache.json")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -69,6 +70,23 @@ func main() {
 		}
 		out = append(out, '\n')
 		if err := os.WriteFile(*benchout, out, 0o644); err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *cache {
+		res, err := bench.RunCacheBench(*rows)
+		if err != nil {
+			fail(err)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile("BENCH_cache.json", out, 0o644); err != nil {
 			fail(err)
 		}
 		os.Stdout.Write(out)

@@ -31,6 +31,7 @@ import (
 
 	"rdbdyn/internal/core"
 	"rdbdyn/internal/engine"
+	"rdbdyn/internal/feedback"
 	"rdbdyn/internal/workload"
 )
 
@@ -59,7 +60,11 @@ func (s *interruptState) fire() bool {
 }
 
 func main() {
-	db := engine.Open(engine.Options{PoolFrames: 1024})
+	db := engine.Open(engine.Options{
+		PoolFrames:     1024,
+		EnableFeedback: true,
+		PlanCache:      engine.PlanCacheConfig{Enable: true},
+	})
 	spec := workload.TableSpec{
 		Name: "FAMILIES",
 		Rows: 100000,
@@ -117,6 +122,8 @@ interrupt: no query in flight (\quit to exit)`)
   \budget N         per-query simulated-I/O budget (0 = off)
   \stats            show the last statement's tactic, strategy, I/O, trace
   \metrics          show cumulative optimizer metrics (tactic wins, switches, estimate error)
+  \cache            show the plan cache (frozen plans, win streaks, hit/miss counters)
+  \feedback         show the feedback registry's estimation correction factors
   \quit             exit
 EXPLAIN <select> describes the plan; EXPLAIN ANALYZE <select> executes it
 and reports the typed competition events alongside. Ctrl-C cancels the
@@ -133,6 +140,10 @@ in-flight query and reports its partial progress.`)
 			printStats(*lastStats)
 		case line == `\metrics`:
 			printMetrics(db.Metrics())
+		case line == `\cache`:
+			printCache(db.PlanCacheSnapshot())
+		case line == `\feedback`:
+			printFeedback(db.FeedbackSnapshot())
 		case line == `\timeout` || strings.HasPrefix(line, `\timeout `):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\timeout`))
 			switch {
@@ -318,10 +329,47 @@ func printMetrics(m core.MetricsSnapshot) {
 	}
 	if len(m.EstimateErrorLog) > 0 {
 		fmt.Println("estimate error (predicted/actual):")
-		for _, bucket := range []string{"<=1/8x", "1/4x", "1/2x", "~1x", "2x", "4x", ">=8x"} {
+		for _, bucket := range []string{"0-I/O", "<=1/8x", "1/4x", "1/2x", "~1x", "2x", "4x", ">=8x"} {
 			if n := m.EstimateErrorLog[bucket]; n > 0 {
 				fmt.Printf("  %-8s %d\n", bucket, n)
 			}
 		}
+	}
+}
+
+func printCache(s engine.PlanCacheSnapshot) {
+	if !s.Enabled {
+		fmt.Println("plan cache disabled")
+		return
+	}
+	fmt.Printf("entries: %d (frozen: %d)\n", s.Entries, s.Frozen)
+	fmt.Printf("hits: %d  misses: %d  promotions: %d  demotions: %d  invalidations: %d\n",
+		s.Hits, s.Misses, s.Promotions, s.Demotions, s.Invalidations)
+	for _, e := range s.Plans {
+		if e.Plan != "" {
+			fmt.Printf("  frozen  %s\n          -> %s (baseline I/O %d)\n", e.Shape, e.Plan, e.BaselineIO)
+		} else {
+			fmt.Printf("  streak %d  %s\n", e.Streak, e.Shape)
+		}
+	}
+}
+
+func printFeedback(cs []feedback.Correction) {
+	if cs == nil {
+		fmt.Println("feedback disabled")
+		return
+	}
+	if len(cs) == 0 {
+		fmt.Println("no corrections learned yet")
+		return
+	}
+	fmt.Println("correction factors (observed/estimated, EMA):")
+	for _, c := range cs {
+		target := c.Table
+		if c.Index != "" {
+			target += "." + c.Index
+		}
+		fmt.Printf("  %-28s card %.3fx (%d samples)  io %.3fx (%d samples)\n",
+			target, c.Card, c.CardSamples, c.IO, c.IOSamples)
 	}
 }

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/engine"
+	"rdbdyn/internal/expr"
+)
+
+// CacheShapeResult is one row of BENCH_cache.json: a query shape run
+// cold (dynamic optimization: estimation descents plus competition)
+// and warm (frozen replay from the plan cache), both measured from an
+// evicted buffer pool so the only difference is the work the cache
+// saves.
+type CacheShapeResult struct {
+	Name   string `json:"name"`
+	SQL    string `json:"sql"`
+	Tactic string `json:"tactic"`
+	Rows   int    `json:"rows"`
+
+	ColdSetupIO int64   `json:"cold_setup_io"`
+	WarmSetupIO int64   `json:"warm_setup_io"`
+	ColdTotalIO int64   `json:"cold_total_io"`
+	WarmTotalIO int64   `json:"warm_total_io"`
+	ColdMicros  float64 `json:"cold_micros"`
+	WarmMicros  float64 `json:"warm_micros"`
+}
+
+// CacheResult is the JSON shape of BENCH_cache.json.
+type CacheResult struct {
+	Rows         int   `json:"rows"`
+	PoolFrames   int   `json:"pool_frames"`
+	PromoteAfter int   `json:"promote_after"`
+	FrozenPlans  int   `json:"frozen_plans"`
+	CacheHits    int64 `json:"cache_hits"`
+
+	Shapes []CacheShapeResult `json:"shapes"`
+
+	TotalColdSetupIO int64   `json:"total_cold_setup_io"`
+	TotalWarmSetupIO int64   `json:"total_warm_setup_io"`
+	SetupReductionX  float64 `json:"setup_reduction_x"`
+	TotalColdMicros  float64 `json:"total_cold_micros"`
+	TotalWarmMicros  float64 `json:"total_warm_micros"`
+	// LatencyRatioX is the geometric mean of per-shape cold/warm
+	// latency, so one large sweep does not swamp six point lookups.
+	LatencyRatioX float64 `json:"latency_ratio_x"`
+}
+
+// cacheBenchShape pairs a SQL shape with its bindings.
+type cacheBenchShape struct {
+	name  string
+	src   string
+	binds engine.Binds
+}
+
+// cacheBenchShapes is the promotable-shape workload: one query per
+// tactic the plan cache knows how to freeze.
+func cacheBenchShapes(pad string) []cacheBenchShape {
+	return []cacheBenchShape{
+		{"seq-sweep", "SELECT * FROM FAMILIES WHERE PAD = :p", engine.Binds{"p": pad}},
+		{"covered-range", "SELECT AGE FROM FAMILIES WHERE AGE >= :lo", engine.Binds{"lo": 9900}},
+		{"ordered-range", "SELECT ID, AGE FROM FAMILIES WHERE AGE >= :lo ORDER BY AGE", engine.Binds{"lo": 9950}},
+		{"intersection", "SELECT * FROM FAMILIES WHERE AGE >= :lo AND CITY = :c", engine.Binds{"lo": 9000, "c": "C042"}},
+		{"limited", "SELECT * FROM FAMILIES WHERE CITY = :c LIMIT 5", engine.Binds{"c": "C042"}},
+		{"sorted-filter", "SELECT * FROM FAMILIES WHERE AGE >= :lo AND CITY = :c ORDER BY AGE", engine.Binds{"lo": 9930, "c": "C042"}},
+		{"count-range", "SELECT COUNT(*) FROM FAMILIES WHERE AGE >= :lo", engine.Binds{"lo": 9900}},
+	}
+}
+
+// RunCacheBench measures the plan cache: each shape is run once cold
+// (full dynamic optimization) and, after enough consistent wins to
+// promote, once warm (frozen replay). Both measured runs start from an
+// evicted buffer pool, so data-page I/O is identical and the deltas
+// isolate what the cache eliminates: estimation descents (setup I/O)
+// and per-query optimization latency.
+func RunCacheBench(rows int) (*CacheResult, error) {
+	if rows <= 0 {
+		rows = 20000
+	}
+	const poolFrames = 1024
+	const promoteAfter = 3
+	// Races off so every round picks the same plan (promotion needs
+	// consistent fingerprints) and cold timings measure dynamic
+	// optimization itself rather than scheduler noise.
+	db := engine.Open(engine.Options{
+		PoolFrames: poolFrames,
+		Optimizer:  core.Config{RaceFactor: -1},
+		PlanCache:  engine.PlanCacheConfig{Enable: true, PromoteAfter: promoteAfter},
+	})
+	if _, err := db.CreateTable("FAMILIES",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "AGE", Type: expr.TypeInt},
+		catalog.Column{Name: "CITY", Type: expr.TypeString},
+		catalog.Column{Name: "PAD", Type: expr.TypeString},
+	); err != nil {
+		return nil, err
+	}
+	pad := ""
+	for i := 0; i < 40; i++ {
+		pad += "x"
+	}
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("FAMILIES", i, (i*7919)%10000, fmt.Sprintf("C%03d", (i*31)%97), pad); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range [][2]string{{"AGE_IX", "AGE"}, {"CITY_IX", "CITY"}, {"ID_IX", "ID"}} {
+		if _, err := db.CreateIndex("FAMILIES", ix[0], ix[1]); err != nil {
+			return nil, err
+		}
+	}
+
+	shapes := cacheBenchShapes(pad)
+	out := &CacheResult{Rows: rows, PoolFrames: poolFrames, PromoteAfter: promoteAfter}
+
+	measure := func(sh cacheBenchShape) (n int, setupIO, totalIO int64, micros float64, tactic string, err error) {
+		db.Pool().EvictAll()
+		db.Pool().ResetStats()
+		start := time.Now()
+		res, err := db.Query(sh.src, sh.binds)
+		if err != nil {
+			return 0, 0, 0, 0, "", err
+		}
+		n, err = drainResult(res, 0)
+		if err != nil {
+			return 0, 0, 0, 0, "", err
+		}
+		elapsed := time.Since(start)
+		st := res.Stats() // finalized at Close
+		// Totals come from the pool, not the query tracker, so pages
+		// faulted in outside the tracked retrieval (estimation,
+		// preparation) count the same way cold and warm.
+		return n, st.EstimateIO, db.Pool().Stats().IOCost(), float64(elapsed.Microseconds()), st.Tactic, nil
+	}
+
+	for _, sh := range shapes {
+		r := CacheShapeResult{Name: sh.name, SQL: sh.src}
+		// Cold leg: the promoteAfter dynamic runs that build the win
+		// streak. Each starts evicted; I/O is deterministic, timing is
+		// best-of-N.
+		for i := 0; i < promoteAfter; i++ {
+			n, setup, total, us, tactic, err := measure(sh)
+			if err != nil {
+				return nil, fmt.Errorf("cache bench %s (cold %d): %w", sh.name, i, err)
+			}
+			if i == 0 {
+				r.Rows, r.ColdSetupIO, r.ColdTotalIO, r.ColdMicros, r.Tactic = n, setup, total, us, tactic
+				continue
+			}
+			if n != r.Rows {
+				return nil, fmt.Errorf("cache bench %s: cold run %d delivered %d rows, first run %d", sh.name, i, n, r.Rows)
+			}
+			if us < r.ColdMicros {
+				r.ColdMicros = us
+			}
+		}
+		// Warm leg: frozen replays. Setup I/O must be gone.
+		for i := 0; i < promoteAfter; i++ {
+			n, setup, total, us, _, err := measure(sh)
+			if err != nil {
+				return nil, fmt.Errorf("cache bench %s (warm %d): %w", sh.name, i, err)
+			}
+			if n != r.Rows {
+				return nil, fmt.Errorf("cache bench %s: warm replay delivered %d rows, cold run %d", sh.name, n, r.Rows)
+			}
+			if i == 0 || us < r.WarmMicros {
+				r.WarmSetupIO, r.WarmTotalIO, r.WarmMicros = setup, total, us
+			} else {
+				r.WarmSetupIO, r.WarmTotalIO = setup, total
+			}
+		}
+		out.Shapes = append(out.Shapes, r)
+		out.TotalColdSetupIO += r.ColdSetupIO
+		out.TotalWarmSetupIO += r.WarmSetupIO
+		out.TotalColdMicros += r.ColdMicros
+		out.TotalWarmMicros += r.WarmMicros
+	}
+
+	snap := db.PlanCacheSnapshot()
+	out.FrozenPlans = snap.Frozen
+	out.CacheHits = snap.Hits
+	if out.FrozenPlans < len(shapes) {
+		return nil, fmt.Errorf("cache bench: only %d of %d shapes promoted to frozen plans", out.FrozenPlans, len(shapes))
+	}
+	denomIO := out.TotalWarmSetupIO
+	if denomIO == 0 {
+		denomIO = 1
+	}
+	out.SetupReductionX = float64(out.TotalColdSetupIO) / float64(denomIO)
+	logSum, n := 0.0, 0
+	for _, r := range out.Shapes {
+		if r.ColdMicros > 0 && r.WarmMicros > 0 {
+			logSum += math.Log(r.ColdMicros / r.WarmMicros)
+			n++
+		}
+	}
+	if n > 0 {
+		out.LatencyRatioX = math.Exp(logSum / float64(n))
+	}
+	return out, nil
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"rdbdyn/internal/btree"
 	"rdbdyn/internal/expr"
@@ -31,6 +32,7 @@ var (
 	ErrDuplicateTable = errors.New("catalog: table already exists")
 	ErrNoSuchTable    = errors.New("catalog: no such table")
 	ErrDuplicateIndex = errors.New("catalog: index already exists")
+	ErrNoSuchIndex    = errors.New("catalog: no such index")
 	ErrNoSuchColumn   = errors.New("catalog: no such column")
 	ErrArity          = errors.New("catalog: row arity mismatch")
 	ErrType           = errors.New("catalog: value type mismatch")
@@ -115,9 +117,17 @@ type Table struct {
 	Indexes []*Index
 
 	pool *storage.BufferPool
-	// wmu serializes mutations (Insert/Update/Delete/CreateIndex) so
-	// concurrent writers cannot corrupt the heap or the index trees.
-	wmu sync.Mutex
+	// wmu serializes mutations (Insert/Update/Delete/CreateIndex,
+	// DropIndex) so concurrent writers cannot corrupt the heap or the
+	// index trees. Readers that need a consistent statistics snapshot
+	// across cardinality, page counts, and index ranges (Stmt.Freeze's
+	// sniffing pass) hold the read side for the duration.
+	wmu sync.RWMutex
+	// version counts schema changes (CreateIndex/DropIndex); statsEpoch
+	// counts row mutations. Frozen plans and cache entries record both
+	// at capture time and revalidate lazily against them.
+	version    atomic.Uint64
+	statsEpoch atomic.Uint64
 }
 
 // ColumnIndex returns the position of the named column.
@@ -132,6 +142,25 @@ func (t *Table) ColumnIndex(name string) (int, error) {
 
 // Cardinality returns the number of live rows.
 func (t *Table) Cardinality() int64 { return t.Heap.Count() }
+
+// Version returns the schema version: it advances whenever an index is
+// created or dropped, invalidating any plan that chose among the
+// table's indexes.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// StatsEpoch returns the statistics epoch: it advances on every row
+// mutation, so a plan frozen against stale cardinalities can detect
+// how far the table has moved since.
+func (t *Table) StatsEpoch() uint64 { return t.statsEpoch.Load() }
+
+// RLock takes the table's mutation lock in read mode and returns the
+// matching unlock. While held, no Insert/Update/Delete/CreateIndex/
+// DropIndex can run, so statistics reads (Cardinality, Pages, index
+// ranges) observe one consistent snapshot.
+func (t *Table) RLock() func() {
+	t.wmu.RLock()
+	return t.wmu.RUnlock
+}
 
 // Pool returns the buffer pool the table's pages live on.
 func (t *Table) Pool() *storage.BufferPool { return t.pool }
@@ -173,6 +202,7 @@ func (t *Table) Insert(row expr.Row) (storage.RID, error) {
 			return storage.RID{}, fmt.Errorf("catalog: index %s: %w", ix.Name, err)
 		}
 	}
+	t.statsEpoch.Add(1)
 	return rid, nil
 }
 
@@ -221,6 +251,7 @@ func (t *Table) Update(rid storage.RID, newRow expr.Row) error {
 			return fmt.Errorf("catalog: index %s: %w", ix.Name, err)
 		}
 	}
+	t.statsEpoch.Add(1)
 	return nil
 }
 
@@ -237,6 +268,7 @@ func (t *Table) Delete(rid storage.RID) error {
 			return fmt.Errorf("catalog: index %s: %w", ix.Name, err)
 		}
 	}
+	t.statsEpoch.Add(1)
 	return t.Heap.Delete(rid)
 }
 
@@ -285,7 +317,41 @@ func (t *Table) CreateIndex(name string, colNames ...string) (*Index, error) {
 		}
 	}
 	t.Indexes = append(t.Indexes, ix)
+	t.version.Add(1)
 	return ix, nil
+}
+
+// DropIndex removes the named index from the table's index set and
+// bumps the schema version so frozen plans and cache entries that
+// chose it revalidate. The tree's pages are left to the pool (this
+// simulator has no free-list); what matters is that no future plan
+// can select the index.
+func (t *Table) DropIndex(name string) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	for i, ix := range t.Indexes {
+		if ix.Name == name {
+			// Copy-on-write so an in-flight reader ranging over the old
+			// slice never observes shifted elements.
+			next := make([]*Index, 0, len(t.Indexes)-1)
+			next = append(next, t.Indexes[:i]...)
+			next = append(next, t.Indexes[i+1:]...)
+			t.Indexes = next
+			t.version.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, t.Name, name)
+}
+
+// IndexByName looks an index up by name, or nil when absent.
+func (t *Table) IndexByName(name string) *Index {
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return ix
+		}
+	}
+	return nil
 }
 
 // Index is a B-tree secondary index over one or more columns.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"rdbdyn/internal/expr"
 	"rdbdyn/internal/storage"
@@ -276,6 +277,89 @@ func TestTableUpdateMaintainsIndexes(t *testing.T) {
 	bad := storage.RID{Page: rid.Page, Slot: rid.Slot + 99}
 	if err := tb.Update(bad, got); err == nil {
 		t.Fatal("phantom update accepted")
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	_, tb := familiesTable(t)
+	if _, err := tb.CreateIndex("AGE_IX", "AGE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateIndex("NAME_IX", "NAME"); err != nil {
+		t.Fatal(err)
+	}
+	v := tb.Version()
+	if err := tb.DropIndex("AGE_IX"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version() != v+1 {
+		t.Fatalf("version = %d, want %d", tb.Version(), v+1)
+	}
+	if tb.IndexByName("AGE_IX") != nil {
+		t.Fatal("dropped index still visible")
+	}
+	if tb.IndexByName("NAME_IX") == nil {
+		t.Fatal("surviving index lost")
+	}
+	if err := tb.DropIndex("AGE_IX"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+	// The dropped name can be re-created.
+	if _, err := tb.CreateIndex("AGE_IX", "AGE"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochCounters(t *testing.T) {
+	_, tb := familiesTable(t)
+	if tb.Version() != 0 || tb.StatsEpoch() != 0 {
+		t.Fatal("fresh table must start at epoch zero")
+	}
+	rid, err := tb.Insert(expr.Row{expr.Int(1), expr.Int(30), expr.Str("x"), expr.Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.StatsEpoch() != 1 {
+		t.Fatalf("stats epoch after insert = %d", tb.StatsEpoch())
+	}
+	if err := tb.Update(rid, expr.Row{expr.Int(1), expr.Int(31), expr.Str("x"), expr.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if tb.StatsEpoch() != 3 {
+		t.Fatalf("stats epoch after update+delete = %d", tb.StatsEpoch())
+	}
+	if tb.Version() != 0 {
+		t.Fatal("row mutations must not bump the schema version")
+	}
+	if _, err := tb.CreateIndex("AGE_IX", "AGE"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version() != 1 {
+		t.Fatalf("version after create = %d", tb.Version())
+	}
+	// RLock excludes writers for its duration.
+	unlock := tb.RLock()
+	before := tb.StatsEpoch()
+	done := make(chan struct{})
+	go func() {
+		_, _ = tb.Insert(expr.Row{expr.Int(2), expr.Int(5), expr.Str("y"), expr.Float(0)})
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("insert completed while read lock held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if tb.StatsEpoch() != before {
+		t.Fatal("stats moved under read lock")
+	}
+	unlock()
+	<-done
+	if tb.StatsEpoch() != before+1 {
+		t.Fatal("insert did not land after unlock")
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/competition"
 	"rdbdyn/internal/expr"
+	"rdbdyn/internal/feedback"
 	"rdbdyn/internal/rid"
 	"rdbdyn/internal/storage"
 )
@@ -212,6 +213,13 @@ type Config struct {
 	// are emitted. The sink must be safe for concurrent use (see
 	// TraceSink) and adds no simulated I/O.
 	Trace TraceSink
+	// Feedback, when non-nil, closes the estimation loop: each
+	// completed dynamic retrieval folds its estimated-vs-actual
+	// cardinality and I/O into the registry, and the initial stage
+	// multiplies inexact estimates by the learned per-index correction.
+	// Nil (the default) keeps estimation purely structural — the
+	// paper's behavior, and the setting every experiment runs under.
+	Feedback *feedback.Registry
 	// Parallelism is the intra-query worker budget for partitioned
 	// scans and goroutine race legs. 0 or 1 keeps the paper-faithful
 	// single-goroutine cooperative scheduler (the default — all
@@ -319,6 +327,19 @@ type RetrievalStats struct {
 	// WinningOrder is the index order that won, for reuse as
 	// PreviousOrder on the next run.
 	WinningOrder []string
+	// Estimates summarizes the initial stage's per-index appraisals,
+	// in the order the stage settled on. Consumers: the feedback
+	// registry (estimated-vs-actual cardinality) and plan capture
+	// (seeding a frozen replay's Jscan thresholds).
+	Estimates []EstimateSummary
+}
+
+// EstimateSummary is the slim record of one initial-stage appraisal
+// kept on RetrievalStats.
+type EstimateSummary struct {
+	Index string
+	RIDs  float64
+	Exact bool
 }
 
 // Rows is the pull-based result iterator every retrieval returns.

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+)
+
+// ErrPlanStale reports that a cached plan references an index that no
+// longer exists; the caller must drop the plan and re-enter dynamic
+// competition.
+var ErrPlanStale = errors.New("core: cached plan references a missing index")
+
+// CachedPlan is the engine plan cache's distillation of one completed
+// dynamic retrieval: the tactic and the index order that won, plus the
+// estimated entry counts that seeded the winning arrangement. It names
+// indexes rather than holding pointers, so a dropped-and-recreated
+// index is re-resolved (or detected missing) at replay time, and holds
+// no bind values — the replay recomputes its scan bounds from the
+// current bindings, exactly as a frozen plan in the paper "still sees
+// run-time values".
+type CachedPlan struct {
+	// Tactic is the tacticKind string of the winning arrangement.
+	Tactic string
+	// Indexes is the index order to replay: for sscan/fscan the single
+	// chosen index; for background-only the adopted Jscan order; for
+	// fast-first the borrow source; for sorted the order-delivering
+	// index followed by the filter Jscan's order. Empty for tscan.
+	Indexes []string
+	// RIDs carries the initial-stage entry estimates parallel to
+	// Indexes (0 when unknown), seeding the replay Jscan's bookkeeping.
+	RIDs []float64
+}
+
+func (p *CachedPlan) String() string {
+	if p == nil {
+		return "<none>"
+	}
+	if len(p.Indexes) == 0 {
+		return p.Tactic
+	}
+	s := p.Tactic + "("
+	for i, n := range p.Indexes {
+		if i > 0 {
+			s += ","
+		}
+		s += n
+	}
+	return s + ")"
+}
+
+// Fingerprint canonically identifies the plan for win-streak counting.
+func (p *CachedPlan) Fingerprint() string { return p.String() }
+
+// CapturePlan distills a completed retrieval's stats into a replayable
+// CachedPlan. It returns ok=false when the run is not worth caching:
+// the competition intervened mid-flight (strategy switch, race, borrow
+// overflow, mid-scan abandonment, a completed-but-useless list), the
+// arrangement is not replayable deterministically, or the tactic has
+// no frozen form. The test is structural: a capturable run's replay
+// performs exactly the original's productive work — scans that were
+// merely *skipped* before starting cost nothing and do not block
+// capture.
+func CapturePlan(st *RetrievalStats) (*CachedPlan, bool) {
+	var chosen *TraceEvent
+	var started []string
+	var switches []*TraceEvent
+	for i := range st.Events {
+		ev := &st.Events[i]
+		switch ev.Kind {
+		case EvTacticChosen:
+			if chosen == nil {
+				chosen = ev
+			}
+		case EvScanStarted:
+			// Per-index background scan openings (Jscan emits one per
+			// index it actually reads; skips never start).
+			if ev.Scan == "Jscan" && len(ev.Indexes) == 1 {
+				started = append(started, ev.Indexes[0])
+			}
+		case EvStrategySwitch:
+			switches = append(switches, ev)
+		case EvBorrowOverflow, EvRaceStarted, EvRaceResolved, EvFixedPlan:
+			return nil, false
+		}
+	}
+	if chosen == nil {
+		return nil, false
+	}
+	if len(switches) > 0 {
+		// One exactly-replayable switch exists: a background-only Jscan
+		// that skipped every index up front (zero scan I/O, no RID list
+		// materialized) and recommended Tscan before anything ran. The
+		// whole retrieval was one sequential scan; freeze it as tscan.
+		if st.Tactic == "background-only" && len(switches) == 1 &&
+			switches[0].Scan == "Tscan" && len(started) == 0 &&
+			len(st.WinningOrder) == 0 && st.FinalListLen < 0 {
+			return &CachedPlan{Tactic: "tscan"}, true
+		}
+		return nil, false
+	}
+	// Every background scan that opened must be in the adopted order,
+	// in the same positions: a started-but-unadopted scan (mid-flight
+	// abandonment or a complete-but-useless list) burned I/O the replay
+	// would not reproduce.
+	jscanClean := func() bool {
+		if len(st.WinningOrder) != len(started) {
+			return false
+		}
+		for i, n := range started {
+			if st.WinningOrder[i] != n {
+				return false
+			}
+		}
+		return len(started) > 0
+	}
+	ridsFor := func(names []string) []float64 {
+		out := make([]float64, len(names))
+		for i, n := range names {
+			for _, es := range st.Estimates {
+				if es.Index == n {
+					out[i] = es.RIDs
+					break
+				}
+			}
+		}
+		return out
+	}
+	switch st.Tactic {
+	case "tscan":
+		if chosen.Scan != "Tscan" {
+			return nil, false
+		}
+		return &CachedPlan{Tactic: "tscan"}, true
+	case "sscan", "fscan":
+		if len(chosen.Indexes) == 0 || len(started) > 0 {
+			return nil, false
+		}
+		ix := chosen.Indexes[:1]
+		return &CachedPlan{Tactic: st.Tactic, Indexes: ix, RIDs: ridsFor(ix)}, true
+	case "background-only":
+		if chosen.Scan != "Jscan" || !jscanClean() {
+			return nil, false
+		}
+		order := append([]string(nil), st.WinningOrder...)
+		return &CachedPlan{Tactic: st.Tactic, Indexes: order, RIDs: ridsFor(order)}, true
+	case "fast-first":
+		// Only the single-source borrow arrangement replays exactly: a
+		// multi-index run's later scans overlap the foreground drain.
+		if chosen.Scan != "Jscan" || !jscanClean() || len(st.WinningOrder) != 1 {
+			return nil, false
+		}
+		order := append([]string(nil), st.WinningOrder...)
+		return &CachedPlan{Tactic: st.Tactic, Indexes: order, RIDs: ridsFor(order)}, true
+	case "sorted":
+		// chosen.Indexes = [order-delivering index, filter candidates...];
+		// the replay pairs the Fscan with the adopted filter order.
+		if len(chosen.Indexes) < 2 || !jscanClean() {
+			return nil, false
+		}
+		order := append([]string{chosen.Indexes[0]}, st.WinningOrder...)
+		return &CachedPlan{Tactic: st.Tactic, Indexes: order, RIDs: ridsFor(order)}, true
+	default:
+		// index-only (always race-resolved), sort(...), empty-range,
+		// error: no frozen form.
+		return nil, false
+	}
+}
+
+// RunFrozen replays a cached plan for q, skipping estimation and
+// competition: scan bounds are recomputed from the current bindings
+// (zero I/O), the captured arrangement executes with competition
+// disabled, and an empty recomputed range still short-circuits to end
+// of data. Row content, order, and productive I/O match the dynamic
+// run the plan was captured from, as long as the data hasn't drifted;
+// the saving is the estimation stage and the competition bookkeeping.
+//
+// A replay counts a query and a tactic win but feeds neither the
+// estimate-error histogram nor the feedback registry. ErrPlanStale
+// surfaces (through the Rows) when a referenced index is gone.
+func (o *Optimizer) RunFrozen(ec *ExecCtx, q *Query, p *CachedPlan) Rows {
+	o.metrics.recordQuery()
+	rows, err := o.runFrozen(ec, q, p)
+	if err != nil {
+		if isCancellation(err) && ec.markCancelRecorded() {
+			o.metrics.recordCancellation(err)
+		}
+		return errRows{err: err}
+	}
+	return rows
+}
+
+func (o *Optimizer) runFrozen(ec *ExecCtx, q *Query, p *CachedPlan) (Rows, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	if q.Table == nil {
+		return nil, fmt.Errorf("core: query without table")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("core: nil cached plan")
+	}
+	if err := exprValidateQuery(q); err != nil {
+		return nil, err
+	}
+	ixs := make([]*catalog.Index, len(p.Indexes))
+	for i, name := range p.Indexes {
+		ix := q.Table.IndexByName(name)
+		if ix == nil {
+			return nil, fmt.Errorf("%w: %s.%s", ErrPlanStale, q.Table.Name, name)
+		}
+		ixs[i] = ix
+	}
+	cl := Classify(q)
+	if cl.EmptyRange {
+		st := RetrievalStats{FinalListLen: -1, QueryID: nextQueryID(), Tactic: "empty-range"}
+		trc := &tracer{st: &st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
+		trc.emit(TraceEvent{Kind: EvEmptyRange, Detail: "frozen replay: contradictory sargable range, end of data at once"})
+		return &emptyRows{stats: st}, nil
+	}
+	// Competition off: the replay scans exactly the captured order —
+	// no skips, no races, no abandonment.
+	cfg := o.cfg
+	cfg.DisableCompetition = true
+	cfg.RaceFactor = -1
+	st := RetrievalStats{FinalListLen: -1, QueryID: nextQueryID()}
+	r := &retrieval{q: q, cfg: cfg, st: st, ec: ec, out: &rowQueue{}, metrics: o.metrics, frozenReplay: true}
+	r.trc = &tracer{st: &r.st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
+	r.model = o.costModel(q, cl)
+
+	emptyReplay := func(scan string) (Rows, error) {
+		r.trc.emit(TraceEvent{
+			Kind: EvEmptyRange, Tactic: r.tactic.String(), Scan: scan,
+			Detail: "frozen replay range empty, end of data at once",
+		})
+		s := r.st
+		s.Tactic = r.tactic.String()
+		return &emptyRows{stats: s}, nil
+	}
+	switch p.Tactic {
+	case "tscan":
+		r.tactic = tacticTscan
+		r.fg = newTscan(ec, q, r.out, cfg.effectiveWorkers())
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Tscan",
+			EstimatedIO: r.model.TscanCost(), Detail: "frozen plan cache replay",
+		})
+	case "sscan", "fscan":
+		ix := ixs[0]
+		lo, hi, _, empty := ix.RestrictionBounds(q.Restriction, q.Binds)
+		if p.Tactic == "sscan" {
+			r.tactic = tacticSscan
+		} else {
+			r.tactic = tacticFscan
+		}
+		if empty {
+			return emptyReplay(p.String())
+		}
+		desc := len(q.OrderBy) > 0 && q.OrderDesc && ix.DeliversOrder(q.OrderBy)
+		var fg stepper
+		var err error
+		if p.Tactic == "sscan" {
+			fg, err = newSscan(ec, q, ix, lo, hi, r.out, cfg.StepEntries, desc)
+		} else {
+			fg, err = newFscan(ec, q, ix, lo, hi, r.out, cfg.StepEntries, desc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.fg = fg
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(),
+			Indexes: []string{ix.Name}, Detail: "frozen plan cache replay",
+		})
+	case "background-only":
+		r.tactic = tacticBackgroundOnly
+		ests, empty := frozenEstimates(q, ixs, p.RIDs)
+		if empty {
+			return emptyReplay("Jscan")
+		}
+		j := newJscan(ec, q, cfg, r.model, ests, nil, r.trc)
+		j.onDone = o.observer(q)
+		r.bg = j
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Jscan", Indexes: p.Indexes,
+			EstimatedIO: bgPlanEst(r.model, ests[0]), Detail: "frozen plan cache replay",
+		})
+	case "fast-first":
+		r.tactic = tacticFastFirst
+		ests, empty := frozenEstimates(q, ixs, p.RIDs)
+		if empty {
+			return emptyReplay("Jscan")
+		}
+		borrow := &ridQueue{}
+		j := newJscan(ec, q, cfg, r.model, ests, borrow, r.trc)
+		j.onDone = o.observer(q)
+		r.bg = j
+		r.fg = newBorrowFetcher(ec, q, borrow, r.out, cfg.FgBufferCap)
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Jscan", Indexes: p.Indexes,
+			EstimatedIO: bgPlanEst(r.model, ests[0]),
+			Detail:      "frozen plan cache replay, foreground borrows from " + ixs[0].Name,
+		})
+	case "sorted":
+		r.tactic = tacticSorted
+		ordIx := ixs[0]
+		lo, hi, _, empty := ordIx.RestrictionBounds(q.Restriction, q.Binds)
+		if empty {
+			return emptyReplay("Fscan(" + ordIx.Name + ")")
+		}
+		fg, err := newFscan(ec, q, ordIx, lo, hi, r.out, cfg.StepEntries, q.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		var restRIDs []float64
+		if len(p.RIDs) > 1 {
+			restRIDs = p.RIDs[1:]
+		}
+		others, oEmpty := frozenEstimates(q, ixs[1:], restRIDs)
+		if oEmpty {
+			return emptyReplay("Jscan")
+		}
+		fcfg := cfg
+		fcfg.RID.FilterOnly = true
+		j := newJscan(ec, q, fcfg, r.model, others, nil, r.trc)
+		j.onDone = o.observer(q)
+		r.fg = fg
+		r.bg = j
+		r.trc.emit(TraceEvent{
+			Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: fg.name(), Indexes: p.Indexes,
+			Detail: "frozen plan cache replay",
+		})
+	default:
+		return nil, fmt.Errorf("core: cached plan has no frozen form for tactic %q", p.Tactic)
+	}
+	return r, nil
+}
+
+// frozenEstimates rebuilds the IndexEstimate slice a replay Jscan
+// needs: bounds recomputed from the current bindings (pure key
+// arithmetic, zero I/O) and the captured entry estimates. empty=true
+// when some index's recomputed range is provably empty — the whole
+// conjunction is unsatisfiable.
+func frozenEstimates(q *Query, ixs []*catalog.Index, rids []float64) (ests []estimate.IndexEstimate, empty bool) {
+	ests = make([]estimate.IndexEstimate, len(ixs))
+	for i, ix := range ixs {
+		lo, hi, sarg, emptyRg := ix.RestrictionBounds(q.Restriction, q.Binds)
+		if emptyRg {
+			return nil, true
+		}
+		var est float64
+		if i < len(rids) {
+			est = rids[i]
+		}
+		ests[i] = estimate.IndexEstimate{Index: ix, Lo: lo, Hi: hi, Sargable: sarg, RIDs: est}
+	}
+	return ests, false
+}
+
+// exprValidateQuery shares run()'s query validation with the replay
+// path.
+func exprValidateQuery(q *Query) error {
+	if err := expr.Validate(q.Restriction); err != nil {
+		return err
+	}
+	for _, c := range append(append([]int(nil), q.Projection...), q.OrderBy...) {
+		if c < 0 || c >= len(q.Table.Columns) {
+			return fmt.Errorf("core: column position %d out of range", c)
+		}
+	}
+	return nil
+}

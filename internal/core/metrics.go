@@ -17,6 +17,12 @@ var estErrLabels = [estErrBuckets]string{
 	"<=1/8x", "1/4x", "1/2x", "~1x", "2x", "4x", ">=8x",
 }
 
+// estErrZeroLabel is the explicit zero/exact bucket: retrievals whose
+// projected and actual I/O are both 0 (empty ranges, fully-cached point
+// lookups). The log2 ratio is undefined there, so they get their own
+// bucket instead of being dropped.
+const estErrZeroLabel = "0-I/O"
+
 // Metrics is a cumulative telemetry registry over every retrieval an
 // optimizer runs: per-tactic win counts, competition-decision counters,
 // and a histogram of how far the start-retrieval I/O projection missed
@@ -36,6 +42,7 @@ type Metrics struct {
 	admissionReject  atomic.Int64
 	tacticWins       [tacticKindCount]atomic.Int64
 	estErr           [estErrBuckets]atomic.Int64
+	estErrZero       atomic.Int64
 }
 
 // onEvent folds one emitted event into the decision counters.
@@ -77,12 +84,21 @@ func (m *Metrics) recordCancellation(err error) {
 func (m *Metrics) RecordAdmissionRejected() { m.admissionReject.Add(1) }
 
 // recordRetrieval folds one finished retrieval into the registry: a win
-// for its tactic, and one estimate-error sample comparing the projected
-// I/O at decision time (estimation stage + the chosen plan's estimate)
-// against the final attributed I/O.
-func (m *Metrics) recordRetrieval(t tacticKind, st *RetrievalStats) {
+// for its tactic, and (when estErr is set — plan-cache replays carry no
+// estimate of their own) one estimate-error sample comparing the
+// projected I/O at decision time (estimation stage + the chosen plan's
+// estimate) against the final attributed I/O.
+//
+// Edge buckets: both sides zero is the exact/zero bucket; a positive
+// projection against zero actual I/O is an overestimate off the top of
+// the scale (">=8x"); zero projected against positive actual is an
+// underestimate off the bottom ("<=1/8x").
+func (m *Metrics) recordRetrieval(t tacticKind, st *RetrievalStats, estErr bool) {
 	if int(t) < len(m.tacticWins) {
 		m.tacticWins[t].Add(1)
+	}
+	if !estErr {
+		return
 	}
 	predicted := float64(st.EstimateIO)
 	for _, ev := range st.Events {
@@ -92,10 +108,16 @@ func (m *Metrics) recordRetrieval(t tacticKind, st *RetrievalStats) {
 		}
 	}
 	actual := float64(st.IO.IOCost())
-	if predicted <= 0 || actual <= 0 {
-		return
+	switch {
+	case predicted <= 0 && actual <= 0:
+		m.estErrZero.Add(1)
+	case actual <= 0:
+		m.estErr[estErrBuckets-1].Add(1)
+	case predicted <= 0:
+		m.estErr[0].Add(1)
+	default:
+		m.estErr[estErrBucket(predicted/actual)].Add(1)
 	}
-	m.estErr[estErrBucket(predicted/actual)].Add(1)
 }
 
 func estErrBucket(ratio float64) int {
@@ -155,6 +177,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		if n := m.estErr[b].Load(); n > 0 {
 			s.EstimateErrorLog[estErrLabels[b]] = n
 		}
+	}
+	if n := m.estErrZero.Load(); n > 0 {
+		s.EstimateErrorLog[estErrZeroLabel] = n
 	}
 	return s
 }

@@ -117,12 +117,20 @@ func (o *Optimizer) run(ec *ExecCtx, q *Query) (Rows, error) {
 	o.mu.Lock()
 	prev := o.prevOrder[q.Table.Name]
 	o.mu.Unlock()
-	opts := estimate.Options{ShortRange: o.cfg.ShortRange, PreviousOrder: prev, Governor: ec.Governor()}
+	opts := estimate.Options{
+		ShortRange:    o.cfg.ShortRange,
+		PreviousOrder: prev,
+		Governor:      ec.Governor(),
+		Correction:    o.cfg.Feedback.CorrectionFor(q.Table.Name),
+	}
 	res, err := estimate.Appraise(cl.FetchNeeded, q.Restriction, q.Binds, opts)
 	if err != nil {
 		return nil, err
 	}
 	st := RetrievalStats{EstimateIO: res.TotalCost, FinalListLen: -1, QueryID: nextQueryID()}
+	for _, e := range res.Estimates {
+		st.Estimates = append(st.Estimates, EstimateSummary{Index: e.Index.Name, RIDs: e.RIDs, Exact: e.Exact})
+	}
 	if res.EmptyRange {
 		st.Tactic = "empty-range"
 		trc := &tracer{st: &st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
@@ -131,7 +139,7 @@ func (o *Optimizer) run(ec *ExecCtx, q *Query) (Rows, error) {
 	}
 
 	model := o.costModel(q, cl)
-	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, ec: ec, out: &rowQueue{}, metrics: o.metrics}
+	r := &retrieval{q: q, cfg: o.cfg, model: model, st: st, ec: ec, out: &rowQueue{}, metrics: o.metrics, fb: o.cfg.Feedback}
 	r.trc = &tracer{st: &r.st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
 
 	switch {

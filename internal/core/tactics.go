@@ -6,6 +6,7 @@ import (
 
 	"rdbdyn/internal/estimate"
 	"rdbdyn/internal/expr"
+	"rdbdyn/internal/feedback"
 	"rdbdyn/internal/rid"
 	"rdbdyn/internal/storage"
 )
@@ -91,6 +92,14 @@ type retrieval struct {
 	// the optimizer's shared registry (nil for fixed plans).
 	trc     *tracer
 	metrics *Metrics
+	// fb, when non-nil, receives this retrieval's estimated-vs-actual
+	// observations on completion (the feedback loop).
+	fb *feedback.Registry
+	// frozenReplay marks a plan-cache replay: it wins its tactic's
+	// metric but feeds neither the estimate-error histogram nor the
+	// feedback registry — a replay's "estimate" is the cached plan
+	// itself, and folding it back in would only reinforce the cache.
+	frozenReplay bool
 
 	out *rowQueue
 
@@ -554,7 +563,47 @@ func (r *retrieval) finalizeStats() {
 	// would pollute the estimate-error histogram; it is counted by the
 	// cancellation counters instead.
 	if r.metrics != nil && !(r.err != nil && isCancellation(r.err)) {
-		r.metrics.recordRetrieval(r.tactic, &r.st)
+		r.metrics.recordRetrieval(r.tactic, &r.st, !r.frozenReplay)
+	}
+	if r.fb != nil && r.err == nil && !r.frozenReplay {
+		r.observeFeedback()
+	}
+}
+
+// observeFeedback folds this retrieval's estimated-vs-actual numbers
+// into the feedback registry. Pure arithmetic over already-recorded
+// stats — no I/O, no locks beyond the registry's own.
+func (r *retrieval) observeFeedback() {
+	table := r.q.Table.Name
+	// I/O: the projection made at decision time against the final
+	// attributed I/O, keyed to the plan's driving index.
+	predicted := float64(r.st.EstimateIO)
+	var driving string
+	for _, ev := range r.st.Events {
+		if ev.Kind == EvTacticChosen {
+			predicted += ev.EstimatedIO
+			if len(ev.Indexes) > 0 {
+				driving = ev.Indexes[0]
+			}
+			break
+		}
+	}
+	if driving != "" {
+		r.fb.ObserveIO(table, driving, predicted, float64(r.st.IO.IOCost()))
+	}
+	// Cardinality: a completed single-index background list is an exact
+	// ground truth for that index's estimate. Multi-index lists measure
+	// the intersection, not any one index, so they are not attributed.
+	if r.st.FinalListLen >= 0 && len(r.st.WinningOrder) == 1 {
+		win := r.st.WinningOrder[0]
+		for _, es := range r.st.Estimates {
+			if es.Index == win {
+				if !es.Exact {
+					r.fb.ObserveCardinality(table, win, es.RIDs, float64(r.st.FinalListLen))
+				}
+				break
+			}
+		}
 	}
 }
 

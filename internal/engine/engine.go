@@ -32,11 +32,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/core"
 	"rdbdyn/internal/expr"
+	"rdbdyn/internal/feedback"
 	"rdbdyn/internal/planner"
 	"rdbdyn/internal/sql"
 	"rdbdyn/internal/storage"
@@ -72,6 +74,15 @@ type Options struct {
 	// before failing with ErrAdmissionTimeout. 0 = wait until the
 	// query's context is done.
 	AdmissionTimeout time.Duration
+	// EnableFeedback turns on the estimation feedback loop: each
+	// completed dynamic retrieval folds its observed cardinality and
+	// attributed I/O into per-(table, index) correction factors that
+	// scale future inexact estimates. Off by default — the paper's
+	// estimator (and the experiment suite) runs uncorrected.
+	EnableFeedback bool
+	// PlanCache configures the frozen-plan cache (see PlanCacheConfig).
+	// Disabled by default.
+	PlanCache PlanCacheConfig
 }
 
 // DB is an embedded database instance.
@@ -81,6 +92,8 @@ type DB struct {
 	cat   *catalog.Catalog
 	opt   *core.Optimizer
 	admit *admission
+	fb    *feedback.Registry // nil unless Options.EnableFeedback
+	plans *planCache         // nil unless Options.PlanCache.Enable
 }
 
 // Open creates an empty database.
@@ -92,16 +105,24 @@ func Open(opts Options) *DB {
 	} else {
 		pool = storage.NewBufferPool(disk, opts.PoolFrames)
 	}
-	// Zero-valued Config fields are filled in field-wise by the
-	// optimizer (core.Config.WithDefaults), so a caller tuning one knob
-	// keeps the paper defaults for every other.
-	return &DB{
+	db := &DB{
 		disk:  disk,
 		pool:  pool,
 		cat:   catalog.New(pool),
-		opt:   core.NewOptimizer(opts.Optimizer),
 		admit: newAdmission(opts.MaxConcurrentQueries, opts.AdmissionQueueDepth, opts.AdmissionTimeout),
 	}
+	if opts.EnableFeedback {
+		db.fb = feedback.New(0)
+		opts.Optimizer.Feedback = db.fb
+	}
+	// Zero-valued Config fields are filled in field-wise by the
+	// optimizer (core.Config.WithDefaults), so a caller tuning one knob
+	// keeps the paper defaults for every other.
+	db.opt = core.NewOptimizer(opts.Optimizer)
+	if opts.PlanCache.Enable {
+		db.plans = newPlanCache(opts.PlanCache)
+	}
+	return db
 }
 
 // InFlightQueries reports how many queries currently hold admission
@@ -137,6 +158,20 @@ func (db *DB) Optimizer() *core.Optimizer { return db.opt }
 // estimate-error histogram. Safe to call concurrently with queries.
 func (db *DB) Metrics() core.MetricsSnapshot { return db.opt.Metrics().Snapshot() }
 
+// FeedbackSnapshot reports the learned estimation correction factors,
+// sorted by (table, index). Nil when Options.EnableFeedback is off.
+func (db *DB) FeedbackSnapshot() []feedback.Correction { return db.fb.Snapshot() }
+
+// PlanCacheSnapshot reports the frozen-plan cache's entries and
+// hit/promotion/demotion counters. Enabled=false (and all zeroes) when
+// the cache is off.
+func (db *DB) PlanCacheSnapshot() PlanCacheSnapshot {
+	if db.plans == nil {
+		return PlanCacheSnapshot{}
+	}
+	return db.plans.snapshot()
+}
+
 // CreateTable registers a table.
 func (db *DB) CreateTable(name string, cols ...catalog.Column) (*catalog.Table, error) {
 	return db.cat.CreateTable(name, cols)
@@ -149,6 +184,24 @@ func (db *DB) CreateIndex(table, index string, cols ...string) (*catalog.Index, 
 		return nil, err
 	}
 	return tab.CreateIndex(index, cols...)
+}
+
+// DropIndex removes an index and eagerly invalidates every cached plan
+// for the table: a frozen plan referencing the dropped index must never
+// be replayed. (The cache's version check would also catch it lazily;
+// eager invalidation keeps the window at zero.)
+func (db *DB) DropIndex(table, index string) error {
+	tab, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := tab.DropIndex(index); err != nil {
+		return err
+	}
+	if db.plans != nil {
+		db.plans.invalidateTable(table)
+	}
+	return nil
 }
 
 // Insert adds a row to a table. Values are converted like Binds.
@@ -211,10 +264,13 @@ func toValue(v any) (expr.Value, error) {
 }
 
 // Stmt is a prepared statement executed with dynamic optimization: each
-// Query call re-plans with the run's bindings.
+// Query call re-plans with the run's bindings — unless the plan cache
+// has promoted this statement's shape, in which case the frozen plan is
+// replayed without re-running the competition.
 type Stmt struct {
 	db       *DB
 	compiled *sql.Compiled
+	shape    string // plan-cache key; "" when the cache is off
 }
 
 // Prepare parses and compiles a statement.
@@ -233,7 +289,11 @@ func (db *DB) PrepareContext(ctx context.Context, src string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, compiled: c}, nil
+	s := &Stmt{db: db, compiled: c}
+	if db.plans != nil {
+		s.shape = c.ShapeKey()
+	}
+	return s, nil
 }
 
 // CoreQuery returns a copy of the compiled core query (no bindings),
@@ -277,7 +337,32 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 		res.release = release
 		return res, nil
 	}
-	rows := s.db.opt.RunExec(ec, &q)
+	var rows core.Rows
+	var onDone func(st *core.RetrievalStats, drained bool, err error)
+	if cache := s.db.plans; cache != nil {
+		if plan := cache.lookup(s.shape, q.Table); plan != nil {
+			// Warm path: replay the frozen plan, skipping estimation and
+			// competition. Drift demotion watches the replay's I/O.
+			rows = s.db.opt.RunFrozen(ec, &q, plan)
+			shape := s.shape
+			onDone = func(st *core.RetrievalStats, _ bool, err error) {
+				if isCancellation(err) {
+					return // deadline pressure is not the plan's fault
+				}
+				cache.observeFrozen(shape, st, err)
+			}
+		} else {
+			// Cold path: dynamic competition, with the outcome counted
+			// toward promotion once the result fully drains.
+			rows = s.db.opt.RunExec(ec, &q)
+			shape, tab := s.shape, q.Table
+			onDone = func(st *core.RetrievalStats, drained bool, err error) {
+				cache.observeDynamic(shape, tab, st, drained, err)
+			}
+		}
+	} else {
+		rows = s.db.opt.RunExec(ec, &q)
+	}
 	res, err := newResult(s.db, s.compiled, rows)
 	if err != nil {
 		rows.Close()
@@ -285,7 +370,17 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 		return nil, err
 	}
 	res.release = release
+	res.onDone = onDone
 	return res, nil
+}
+
+// isCancellation reports whether err is an execution-context unwind
+// (caller cancellation, deadline, or I/O budget) rather than a fault of
+// the plan or data.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, storage.ErrBudgetExceeded)
 }
 
 // explain plans the retrieval with the current bindings and reports the
@@ -352,30 +447,84 @@ func (s *Stmt) explain(ec *core.ExecCtx, q *core.Query, analyze bool) (*Result, 
 // Freeze produces the static-optimizer baseline for this statement. If
 // binds is non-nil, the plan is chosen by estimating with those values
 // ("parameter sniffing"); otherwise compile-time default selectivities
-// apply. Either way the plan never changes again.
+// apply. The plan survives until the table underneath it changes shape
+// (an index appears or disappears) or drifts far enough from the
+// statistics it was estimated against; then the next Query re-prepares
+// it with the same sniffed bindings.
+//
+// The whole estimation runs under the table's read-lock: the planner
+// descends live B-trees, and a concurrent Insert splitting a page
+// mid-descent would otherwise corrupt the estimate (or worse).
 func (s *Stmt) Freeze(binds Binds) (*FrozenStmt, error) {
 	bb, err := binds.toBindings()
 	if err != nil {
 		return nil, err
 	}
-	var plan *planner.Plan
-	if bb != nil {
-		plan, err = planner.PrepareSniffing(s.compiled.Query, bb)
-	} else {
-		plan, err = planner.Prepare(s.compiled.Query)
-	}
+	tab := s.compiled.Query.Table
+	unlock := tab.RLock()
+	defer unlock()
+	plan, err := freezePlan(s.compiled.Query, bb)
 	if err != nil {
 		return nil, err
 	}
-	return &FrozenStmt{db: s.db, compiled: s.compiled, Plan: plan}, nil
+	return &FrozenStmt{
+		db:       s.db,
+		compiled: s.compiled,
+		Plan:     plan,
+		sniffed:  bb,
+		version:  tab.Version(),
+		epoch:    tab.StatsEpoch(),
+		card:     tab.Cardinality(),
+	}, nil
+}
+
+func freezePlan(q *core.Query, bb expr.Bindings) (*planner.Plan, error) {
+	if bb != nil {
+		return planner.PrepareSniffing(q, bb)
+	}
+	return planner.Prepare(q)
 }
 
 // FrozenStmt executes one frozen plan for every run — the traditional
-// static optimizer the paper improves upon.
+// static optimizer the paper improves upon. Unlike the original, it is
+// no longer allowed to hold a plan forever against a changing table:
+// each Query revalidates the plan against the table's schema version
+// and stats epoch, and re-prepares (with the original sniffed bindings)
+// when either has moved. An unchanged table re-freezes nothing, so the
+// baseline's behavior on static data is untouched.
 type FrozenStmt struct {
 	db       *DB
 	compiled *sql.Compiled
 	Plan     *planner.Plan
+
+	mu      sync.Mutex
+	sniffed expr.Bindings // bindings the plan was sniffed with (nil = defaults)
+	version uint64        // table schema version at freeze
+	epoch   uint64        // table stats epoch at freeze
+	card    int64         // table cardinality at freeze
+}
+
+// ensureFresh returns the plan to execute, re-preparing it first if the
+// table's schema changed (index created or dropped) or its statistics
+// drifted past the staleness threshold since the plan was frozen.
+func (f *FrozenStmt) ensureFresh() (*planner.Plan, error) {
+	tab := f.compiled.Query.Table
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tab.Version() == f.version && !statsStale(tab, f.epoch, f.card) {
+		return f.Plan, nil
+	}
+	unlock := tab.RLock()
+	defer unlock()
+	plan, err := freezePlan(f.compiled.Query, f.sniffed)
+	if err != nil {
+		return nil, err
+	}
+	f.Plan = plan
+	f.version = tab.Version()
+	f.epoch = tab.StatsEpoch()
+	f.card = tab.Cardinality()
+	return plan, nil
 }
 
 // Query runs the frozen plan with the given bindings.
@@ -391,13 +540,17 @@ func (f *FrozenStmt) QueryContext(ctx context.Context, binds Binds) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	plan, err := f.ensureFresh()
+	if err != nil {
+		return nil, err
+	}
 	release, err := f.db.admitQuery(ctx)
 	if err != nil {
 		return nil, err
 	}
 	q := *f.compiled.Query
 	q.Binds = bb
-	rows := f.Plan.ExecuteExec(core.NewExecCtx(ctx, 0), &q)
+	rows := plan.ExecuteExec(core.NewExecCtx(ctx, 0), &q)
 	res, err := newResult(f.db, f.compiled, rows)
 	if err != nil {
 		rows.Close()
@@ -440,6 +593,15 @@ type Result struct {
 	release  func() // admission slot; nil when unadmitted
 	closed   bool
 	closeErr error
+
+	// Plan-cache observation: onDone fires exactly once, from the first
+	// Close, with the retrieval's final stats. drained is set when the
+	// underlying retrieval was read to exhaustion — only such runs carry
+	// trustworthy I/O totals for promotion. (EXISTS results stop at the
+	// first row by design and therefore never promote.)
+	onDone  func(st *core.RetrievalStats, drained bool, err error)
+	drained bool
+	iterErr error
 }
 
 func newResult(db *DB, c *sql.Compiled, rows core.Rows) (*Result, error) {
@@ -485,6 +647,7 @@ func (r *Result) Next() (expr.Row, bool, error) {
 		r.counted = true
 		_, ok, err := r.rows.Next()
 		if err != nil {
+			r.iterErr = err
 			return nil, false, err
 		}
 		return expr.Row{expr.Bool(ok)}, true, nil
@@ -496,8 +659,10 @@ func (r *Result) Next() (expr.Row, bool, error) {
 		r.counted = true
 		v, err := r.aggregate()
 		if err != nil {
+			r.iterErr = err
 			return nil, false, err
 		}
+		r.drained = true
 		return expr.Row{v}, true, nil
 	}
 	if r.count {
@@ -508,6 +673,7 @@ func (r *Result) Next() (expr.Row, bool, error) {
 		for {
 			_, ok, err := r.rows.Next()
 			if err != nil {
+				r.iterErr = err
 				return nil, false, err
 			}
 			if !ok {
@@ -516,9 +682,17 @@ func (r *Result) Next() (expr.Row, bool, error) {
 			n++
 		}
 		r.counted = true
+		r.drained = true
 		return expr.Row{expr.Int(n)}, true, nil
 	}
-	return r.rows.Next()
+	row, ok, err := r.rows.Next()
+	switch {
+	case err != nil:
+		r.iterErr = err
+	case !ok:
+		r.drained = true
+	}
+	return row, ok, err
 }
 
 // Close releases the retrieval and the admission slot. It is
@@ -533,6 +707,14 @@ func (r *Result) Close() error {
 	r.closed = true
 	if r.rows != nil {
 		r.closeErr = r.rows.Close()
+	}
+	if r.onDone != nil && r.rows != nil {
+		st := r.rows.Stats()
+		err := r.iterErr
+		if err == nil {
+			err = r.closeErr
+		}
+		r.onDone(&st, r.drained, err)
 	}
 	if r.release != nil {
 		r.release()

@@ -39,6 +39,9 @@ type IndexEstimate struct {
 	RIDs float64
 	// Exact is true when the descent reached a leaf and RIDs is exact.
 	Exact bool
+	// Corrected is true when RIDs was scaled by a feedback correction
+	// factor (Options.Correction).
+	Corrected bool
 	// Empty is true when the range is provably empty.
 	Empty bool
 	// EstimateCost is the I/O charged while producing this estimate.
@@ -73,6 +76,12 @@ type Options struct {
 	// Governor, if non-nil, is the query's cancellation/budget
 	// authority: estimation descents charge it and abort once it trips.
 	Governor *storage.Governor
+	// Correction, if non-nil, returns a multiplicative cardinality
+	// correction factor for an index name — the feedback loop's learned
+	// actual/estimated ratio. It adjusts inexact (extrapolated)
+	// estimates only: an exact leaf count needs no correction. Nil
+	// keeps the stage purely structural (the paper's behavior).
+	Correction func(index string) float64
 }
 
 // DefaultOptions returns the standard initial-stage tuning.
@@ -106,6 +115,12 @@ func Appraise(indexes []*catalog.Index, restriction expr.Expr, binds expr.Bindin
 		e, err := appraiseOne(ix, restriction, binds, opts.Governor)
 		if err != nil {
 			return Result{}, err
+		}
+		if opts.Correction != nil && !e.Exact && !e.Empty && e.RIDs > 0 {
+			if f := opts.Correction(ix.Name); f > 0 && f != 1 {
+				e.RIDs *= f
+				e.Corrected = true
+			}
 		}
 		res.TotalCost += e.EstimateCost
 		res.Estimates = append(res.Estimates, e)

@@ -289,3 +289,70 @@ func TestCostModelClusterRatioClamped(t *testing.T) {
 		t.Fatalf("clamped unclustered fetch = %v", got)
 	}
 }
+
+func TestAppraiseCorrectionScalesInexactEstimates(t *testing.T) {
+	tb, _, _ := buildTable(t, 20000)
+	age := ageCol(t, tb)
+	// A wide AGE range yields an inexact (extrapolated) estimate on a
+	// 20k-row table.
+	restriction := expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(50)))
+	base, err := Appraise(tb.Indexes, restriction, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseAge IndexEstimate
+	for _, e := range base.Estimates {
+		if e.Index.Name == "AGE_IX" {
+			baseAge = e
+		}
+	}
+	if baseAge.Index == nil || baseAge.Exact {
+		t.Fatalf("want an inexact AGE_IX estimate, got %+v", baseAge)
+	}
+	if baseAge.Corrected {
+		t.Fatal("no correction requested, estimate flagged corrected")
+	}
+	opts := DefaultOptions()
+	opts.Correction = func(index string) float64 {
+		if index == "AGE_IX" {
+			return 2
+		}
+		return 1
+	}
+	corr, err := Appraise(tb.Indexes, restriction, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range corr.Estimates {
+		if e.Index.Name != "AGE_IX" {
+			if e.Corrected {
+				t.Fatalf("%s corrected by neutral factor", e.Index.Name)
+			}
+			continue
+		}
+		if !e.Corrected {
+			t.Fatal("AGE_IX estimate not flagged corrected")
+		}
+		if math.Abs(e.RIDs-2*baseAge.RIDs) > 1e-9 {
+			t.Fatalf("corrected RIDs = %v, want %v", e.RIDs, 2*baseAge.RIDs)
+		}
+	}
+}
+
+func TestAppraiseCorrectionLeavesExactEstimatesAlone(t *testing.T) {
+	tb, _, _ := buildTable(t, 20000)
+	cityIdx, _ := tb.ColumnIndex("CITY")
+	// CITY = 77 is rare: the edge descent resolves it exactly.
+	restriction := expr.NewCmp(expr.EQ, expr.Col(cityIdx, "CITY"), expr.Lit(expr.Int(77)))
+	opts := DefaultOptions()
+	opts.Correction = func(string) float64 { return 8 }
+	res, err := Appraise(tb.Indexes, restriction, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Estimates {
+		if e.Exact && e.Corrected {
+			t.Fatalf("exact estimate for %s was corrected", e.Index.Name)
+		}
+	}
+}

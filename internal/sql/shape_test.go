@@ -1,0 +1,95 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+func shapeTable(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(4096), 0))
+	tab, err := cat.CreateTable("FAMILIES", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "AGE", Type: expr.TypeInt},
+		{Name: "CITY", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tab
+	return cat
+}
+
+func keyOf(t *testing.T, cat *catalog.Catalog, src string) string {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c, err := Compile(cat, stmt)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c.ShapeKey()
+}
+
+func TestShapeKeyIgnoresBindValuesAndOperandOrder(t *testing.T) {
+	cat := shapeTable(t)
+	a := keyOf(t, cat, "SELECT * FROM FAMILIES WHERE AGE >= :lo AND CITY = :c")
+	b := keyOf(t, cat, "SELECT * FROM FAMILIES WHERE CITY = :c AND AGE >= :lo")
+	if a != b {
+		t.Fatalf("commuted conjunction changed key:\n%s\n%s", a, b)
+	}
+}
+
+func TestShapeKeyDistinguishesStructure(t *testing.T) {
+	cat := shapeTable(t)
+	base := keyOf(t, cat, "SELECT * FROM FAMILIES WHERE AGE >= :lo")
+	for _, src := range []string{
+		"SELECT * FROM FAMILIES WHERE AGE > :lo",   // operator
+		"SELECT * FROM FAMILIES WHERE AGE >= 30",   // literal vs param
+		"SELECT * FROM FAMILIES WHERE CITY >= :lo", // column
+		"SELECT ID FROM FAMILIES WHERE AGE >= :lo", // projection
+		"SELECT * FROM FAMILIES WHERE AGE >= :lo ORDER BY ID",
+		"SELECT * FROM FAMILIES WHERE AGE >= :lo LIMIT 5",
+		"SELECT COUNT(*) FROM FAMILIES WHERE AGE >= :lo",
+		"EXISTS(SELECT * FROM FAMILIES WHERE AGE >= :lo)",
+		"SELECT * FROM FAMILIES WHERE AGE >= :lo OPTIMIZE FOR TOTAL TIME",
+	} {
+		if k := keyOf(t, cat, src); k == base {
+			t.Errorf("%q collides with base shape key %q", src, base)
+		}
+	}
+}
+
+func TestShapeKeyOrderDirectionAndLimitValue(t *testing.T) {
+	cat := shapeTable(t)
+	asc := keyOf(t, cat, "SELECT * FROM FAMILIES ORDER BY AGE")
+	desc := keyOf(t, cat, "SELECT * FROM FAMILIES ORDER BY AGE DESC")
+	if asc == desc {
+		t.Fatal("ASC and DESC share a shape key")
+	}
+	l5 := keyOf(t, cat, "SELECT * FROM FAMILIES LIMIT 5")
+	l50 := keyOf(t, cat, "SELECT * FROM FAMILIES LIMIT 50")
+	if l5 == l50 {
+		t.Fatal("different LIMIT values share a shape key")
+	}
+}
+
+func TestShapeKeyDeterministic(t *testing.T) {
+	cat := shapeTable(t)
+	src := "SELECT ID, AGE FROM FAMILIES WHERE (AGE >= :lo AND AGE <= :hi) OR CITY = 'Lund' ORDER BY AGE DESC LIMIT 3"
+	k := keyOf(t, cat, src)
+	for i := 0; i < 10; i++ {
+		if got := keyOf(t, cat, src); got != k {
+			t.Fatalf("key not stable: %s vs %s", got, k)
+		}
+	}
+	if !strings.Contains(k, "FAMILIES|") {
+		t.Fatalf("key missing table prefix: %s", k)
+	}
+}
