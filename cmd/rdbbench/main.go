@@ -32,6 +32,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchout := flag.String("benchout", "", "run the vectorized-pipeline microbenchmarks and write JSON results to this file (e.g. BENCH_pipeline.json)")
 	cache := flag.Bool("cache", false, "run the plan-cache warm-vs-cold benchmark and write BENCH_cache.json")
+	join := flag.Bool("join", false, "run the static-vs-dynamic join benchmark and write BENCH_join.json")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -87,6 +88,23 @@ func main() {
 		}
 		out = append(out, '\n')
 		if err := os.WriteFile("BENCH_cache.json", out, 0o644); err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *join {
+		res, err := bench.RunJoinBench(*rows)
+		if err != nil {
+			fail(err)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile("BENCH_join.json", out, 0o644); err != nil {
 			fail(err)
 		}
 		os.Stdout.Write(out)

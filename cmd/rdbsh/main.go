@@ -82,6 +82,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rdbsh:", err)
 		os.Exit(1)
 	}
+	// A second table keyed to FAMILIES.ID so multi-table statements
+	// (JOIN ... ON, comma syntax) can be poked at too.
+	ordSpec := workload.TableSpec{
+		Name: "ORDERS",
+		Rows: 50000,
+		Columns: []workload.ColumnSpec{
+			{Name: "ID", Gen: &workload.Seq{}},
+			{Name: "FAM", Gen: workload.Uniform{Lo: 0, Hi: 100000}},
+			{Name: "QTY", Gen: workload.Uniform{Lo: 1, Hi: 10}},
+		},
+		Indexes: [][]string{{"FAM"}},
+		Seed:    2,
+	}
+	fmt.Println("loading demo ORDERS table (50k rows, FAM -> FAMILIES.ID, index on FAM)...")
+	if _, err := workload.Build(db.Catalog(), ordSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "rdbsh:", err)
+		os.Exit(1)
+	}
 	fmt.Println(`ready. SQL statements end at newline; \help for commands. Ctrl-C cancels the running query.`)
 
 	intr := &interruptState{}
@@ -121,7 +139,7 @@ interrupt: no query in flight (\quit to exit)`)
   \timeout DUR      deadline for every following statement (e.g. 50ms; 0 = off)
   \budget N         per-query simulated-I/O budget (0 = off)
   \stats            show the last statement's tactic, strategy, I/O, trace
-  \metrics          show cumulative optimizer metrics (tactic wins, switches, estimate error)
+  \metrics          show cumulative optimizer metrics (tactic wins, switches, joins, estimate error)
   \cache            show the plan cache (frozen plans, win streaks, hit/miss counters)
   \feedback         show the feedback registry's estimation correction factors
   \quit             exit
@@ -303,6 +321,17 @@ func printStats(st core.RetrievalStats) {
 	fmt.Printf("attributed I/O: %s (estimation: %d)\n", st.IO, st.EstimateIO)
 	fmt.Printf("rows delivered: %d (foreground: %d, final list: %d)\n",
 		st.RowsDelivered, st.FgRows, st.FinalListLen)
+	for i, sg := range st.JoinStages {
+		line := fmt.Sprintf("stage %d %s: %s", i, sg.Table, sg.Operator)
+		if sg.Index != "" {
+			line += fmt.Sprintf("(%s)", sg.Index)
+		}
+		line += fmt.Sprintf("  est %.0f rows, actual %d, I/O %d", sg.EstRows, sg.ActualRows, sg.IO)
+		if sg.Reoptimized {
+			line += "  [re-optimized]"
+		}
+		fmt.Println(" ", line)
+	}
 	for _, tr := range st.Trace {
 		fmt.Println("  *", tr)
 	}
@@ -319,6 +348,21 @@ func printMetrics(m core.MetricsSnapshot) {
 	fmt.Printf("deadline exceeded: %d\n", m.QueriesDeadlineExceeded)
 	fmt.Printf("budget exceeded:   %d\n", m.QueriesBudgetExceeded)
 	fmt.Printf("admission rejects: %d\n", m.AdmissionRejected)
+	if m.JoinQueries > 0 {
+		fmt.Printf("join queries:      %d (orders chosen: %d, re-optimizations: %d)\n",
+			m.JoinQueries, m.JoinOrdersChosen, m.JoinReoptimizations)
+		if len(m.JoinOperatorWins) > 0 {
+			fmt.Println("join operator wins:")
+			for _, op := range []string{"nl", "inl", "ridx"} {
+				if n := m.JoinOperatorWins[op]; n > 0 {
+					fmt.Printf("  %-16s %d\n", op, n)
+				}
+			}
+		}
+	}
+	if m.PlanCaptureRejected > 0 {
+		fmt.Printf("capture rejects:   %d\n", m.PlanCaptureRejected)
+	}
 	if len(m.TacticWins) > 0 {
 		fmt.Println("tactic wins:")
 		for _, tactic := range []string{"tscan", "sscan", "fscan", "background-only", "fast-first", "sorted", "index-only"} {

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
+	"rdbdyn/internal/engine"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/feedback"
+)
+
+// JoinScenarioResult is one row of BENCH_join.json: the same
+// three-table join run statically (the plan chosen up front runs to
+// completion, as a freezing optimizer would) and dynamically (staged
+// execution with mid-flight re-optimization), on twin databases.
+type JoinScenarioResult struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+
+	StaticPlan    string  `json:"static_plan"`
+	StaticIO      int64   `json:"static_io"`
+	StaticMicros  float64 `json:"static_micros"`
+	DynamicPlan   string  `json:"dynamic_plan"`
+	DynamicIO     int64   `json:"dynamic_io"`
+	DynamicMicros float64 `json:"dynamic_micros"`
+
+	Rows            int     `json:"rows"`
+	Reoptimizations int     `json:"reoptimizations"`
+	IOReductionX    float64 `json:"io_reduction_x"`
+}
+
+// JoinResult is the JSON shape of BENCH_join.json.
+type JoinResult struct {
+	Customers   int     `json:"customers"`
+	Orders      int     `json:"orders"`
+	Items       int     `json:"items"`
+	PoolFrames  int     `json:"pool_frames"`
+	ReoptFactor float64 `json:"reopt_factor"`
+
+	Scenarios []JoinScenarioResult `json:"scenarios"`
+
+	// SkewedIOReductionX is the headline number: attributed I/O of the
+	// static plan over the dynamic run under skewed statistics.
+	SkewedIOReductionX float64 `json:"skewed_io_reduction_x"`
+}
+
+const joinBenchSQL = "SELECT CUST.NAME, ORD.QTY, ITEM.KIND FROM CUST JOIN ORD ON CUST.ID = ORD.CUST JOIN ITEM ON ORD.ITEM = ITEM.ID WHERE SEG = 0"
+
+// newJoinBenchDB builds one CUST/ORD/ITEM database under a bounded
+// buffer pool. SEG=0 covers 60% of customers, so the unsargable 10%
+// guess already undershoots; the skewed scenario compounds it with a
+// poisoned feedback correction.
+func newJoinBenchDB(nCust, nOrd, nItem, frames int) (*engine.DB, error) {
+	db := engine.Open(engine.Options{
+		PoolFrames: frames,
+		Optimizer:  core.Config{RaceFactor: -1},
+	})
+	if _, err := db.CreateTable("CUST",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "SEG", Type: expr.TypeInt},
+		catalog.Column{Name: "NAME", Type: expr.TypeString},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("ORD",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "CUST", Type: expr.TypeInt},
+		catalog.Column{Name: "ITEM", Type: expr.TypeInt},
+		catalog.Column{Name: "QTY", Type: expr.TypeInt},
+		catalog.Column{Name: "PAD", Type: expr.TypeString},
+	); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("ITEM",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "KIND", Type: expr.TypeInt},
+	); err != nil {
+		return nil, err
+	}
+	for _, ix := range [][3]string{
+		{"CUST", "CUST_ID_IX", "ID"},
+		{"ORD", "ORD_CUST_IX", "CUST"},
+		{"ITEM", "ITEM_ID_IX", "ID"},
+	} {
+		if _, err := db.CreateIndex(ix[0], ix[1], ix[2]); err != nil {
+			return nil, err
+		}
+	}
+	pad := strings.Repeat("x", 400)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < nCust; i++ {
+		seg := int(rng.Int63n(10))
+		if seg < 6 {
+			seg = 0
+		}
+		if err := db.Insert("CUST", i, seg, fmt.Sprintf("c%05d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nOrd; i++ {
+		if err := db.Insert("ORD", i, int(rng.Int63n(int64(nCust))),
+			int(rng.Int63n(int64(nItem))), 1+int(rng.Int63n(9)), pad); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nItem; i++ {
+		if err := db.Insert("ITEM", i, int(rng.Int63n(5))); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// poisonedFeedback fabricates the skew: a learned correction claiming
+// CUST whole-table guesses run 16x over, shrinking the driver estimate
+// far below its true cardinality. The first sample adopts the ratio and
+// the registry clamps it at the 1/16 floor.
+func poisonedFeedback() *feedback.Registry {
+	fb := feedback.New(0)
+	fb.ObserveCardinality("CUST", "", 160, 10)
+	return fb
+}
+
+// joinQueryFor compiles the bench SQL against db's catalog.
+func joinQueryFor(db *engine.DB) (*core.JoinQuery, error) {
+	stmt, err := db.Prepare(joinBenchSQL)
+	if err != nil {
+		return nil, err
+	}
+	jq := stmt.JoinQuery()
+	if jq == nil {
+		return nil, fmt.Errorf("join bench: %q did not compile to a join", joinBenchSQL)
+	}
+	return jq, nil
+}
+
+// runJoinLeg executes one leg on its own twin database with its own
+// optimizer and (possibly poisoned) feedback registry. static=true
+// plans once and replays that plan; static=false runs the full dynamic
+// executor.
+func runJoinLeg(nCust, nOrd, nItem, frames int, fb *feedback.Registry, static bool) (plan string, n int, io int64, micros float64, reopts int, err error) {
+	db, err := newJoinBenchDB(nCust, nOrd, nItem, frames)
+	if err != nil {
+		return "", 0, 0, 0, 0, err
+	}
+	jq, err := joinQueryFor(db)
+	if err != nil {
+		return "", 0, 0, 0, 0, err
+	}
+	opt := core.NewOptimizer(core.Config{RaceFactor: -1, Feedback: fb})
+	ec := core.NewExecCtx(context.Background(), 0)
+	db.Pool().EvictAll()
+	db.Pool().ResetStats()
+	start := time.Now()
+	var rows core.Rows
+	if static {
+		p, perr := opt.PlanJoin(ec, jq)
+		if perr != nil {
+			return "", 0, 0, 0, 0, perr
+		}
+		rows = opt.RunJoinPlan(ec, jq, p)
+	} else {
+		rows = opt.RunJoin(ec, jq)
+	}
+	for {
+		_, ok, nerr := rows.Next()
+		if nerr != nil {
+			return "", 0, 0, 0, 0, nerr
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	micros = float64(time.Since(start).Microseconds())
+	if cerr := rows.Close(); cerr != nil {
+		return "", 0, 0, 0, 0, cerr
+	}
+	st := rows.Stats()
+	for _, ev := range st.Events {
+		if ev.Kind == core.EvJoinReoptimized {
+			reopts++
+		}
+	}
+	return st.Strategy, n, st.IO.IOCost(), micros, reopts, nil
+}
+
+// RunJoinBench measures dynamic join optimization against the static
+// baseline on twin databases, under accurate and skewed statistics.
+// Under accurate statistics both legs should land on the same plan and
+// cost; under skewed statistics the static plan commits to an
+// index-probe operator sized for the bogus estimate while the dynamic
+// run notices the divergence at the first stage boundary, re-plans, and
+// must finish with less attributed I/O.
+func RunJoinBench(rows int) (*JoinResult, error) {
+	nOrd := rows
+	if nOrd <= 0 {
+		nOrd = 4000
+	}
+	nCust := nOrd / 4
+	if nCust < 16 {
+		nCust = 16
+	}
+	const nItem = 50
+	const frames = 128
+	out := &JoinResult{
+		Customers: nCust, Orders: nOrd, Items: nItem,
+		PoolFrames:  frames,
+		ReoptFactor: core.DefaultConfig().JoinReoptFactor,
+	}
+
+	scenarios := []struct {
+		name string
+		fb   func() *feedback.Registry
+	}{
+		{"accurate-stats", func() *feedback.Registry { return nil }},
+		{"skewed-stats", poisonedFeedback},
+	}
+	for _, sc := range scenarios {
+		r := JoinScenarioResult{Name: sc.name, SQL: joinBenchSQL}
+		var err error
+		var sn, dn int
+		r.StaticPlan, sn, r.StaticIO, r.StaticMicros, _, err =
+			runJoinLeg(nCust, nOrd, nItem, frames, sc.fb(), true)
+		if err != nil {
+			return nil, fmt.Errorf("join bench %s (static): %w", sc.name, err)
+		}
+		r.DynamicPlan, dn, r.DynamicIO, r.DynamicMicros, r.Reoptimizations, err =
+			runJoinLeg(nCust, nOrd, nItem, frames, sc.fb(), false)
+		if err != nil {
+			return nil, fmt.Errorf("join bench %s (dynamic): %w", sc.name, err)
+		}
+		if sn != dn {
+			return nil, fmt.Errorf("join bench %s: static delivered %d rows, dynamic %d", sc.name, sn, dn)
+		}
+		r.Rows = sn
+		if r.DynamicIO > 0 {
+			r.IOReductionX = float64(r.StaticIO) / float64(r.DynamicIO)
+		}
+		out.Scenarios = append(out.Scenarios, r)
+		if sc.name == "skewed-stats" {
+			if r.Reoptimizations == 0 {
+				return nil, fmt.Errorf("join bench: skewed scenario never re-optimized (static %q, dynamic %q)", r.StaticPlan, r.DynamicPlan)
+			}
+			if r.DynamicIO >= r.StaticIO {
+				return nil, fmt.Errorf("join bench: dynamic I/O %d did not beat static %d under skew", r.DynamicIO, r.StaticIO)
+			}
+			out.SkewedIOReductionX = r.IOReductionX
+		}
+	}
+	return out, nil
+}

@@ -220,6 +220,13 @@ type Config struct {
 	// Nil (the default) keeps estimation purely structural — the
 	// paper's behavior, and the setting every experiment runs under.
 	Feedback *feedback.Registry
+	// JoinReoptFactor is the mid-flight re-optimization trigger for
+	// multi-table retrievals: when a join stage's actual cardinality
+	// diverges from its estimate by more than this factor (either
+	// direction), the executor re-plans the remaining stages. 0 means
+	// the default (4); a negative value disables re-optimization, so a
+	// chosen join plan runs statically to completion.
+	JoinReoptFactor float64
 	// Parallelism is the intra-query worker budget for partitioned
 	// scans and goroutine race legs. 0 or 1 keeps the paper-faithful
 	// single-goroutine cooperative scheduler (the default — all
@@ -254,12 +261,13 @@ func (c Config) effectiveWorkers() int {
 // DefaultConfig returns the paper's settings.
 func DefaultConfig() Config {
 	return Config{
-		Criterion:   competition.DefaultSwitchCriterion(),
-		RID:         rid.DefaultConfig(),
-		FgBufferCap: 1024,
-		StepEntries: 128,
-		RaceFactor:  2,
-		ShortRange:  20,
+		Criterion:       competition.DefaultSwitchCriterion(),
+		RID:             rid.DefaultConfig(),
+		FgBufferCap:     1024,
+		StepEntries:     128,
+		RaceFactor:      2,
+		ShortRange:      20,
+		JoinReoptFactor: 4,
 	}
 }
 
@@ -294,6 +302,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ShortRange == 0 {
 		c.ShortRange = d.ShortRange
+	}
+	if c.JoinReoptFactor == 0 {
+		c.JoinReoptFactor = d.JoinReoptFactor
 	}
 	return c
 }
@@ -332,6 +343,32 @@ type RetrievalStats struct {
 	// registry (estimated-vs-actual cardinality) and plan capture
 	// (seeding a frozen replay's Jscan thresholds).
 	Estimates []EstimateSummary
+	// JoinStages describes each executed stage of a multi-table
+	// retrieval in execution order (empty for single-table retrievals).
+	// The Tactic of a join retrieval is "join".
+	JoinStages []JoinStageStats
+}
+
+// JoinStageStats is the est-vs-actual record of one executed join
+// stage (the driver scan is stage 0 with an empty Operator-specific
+// fields where they do not apply).
+type JoinStageStats struct {
+	// Table is the table this stage brought into the join.
+	Table string
+	// Operator names the stage's execution strategy: the driver's
+	// single-table tactic for stage 0, else "nl", "inl", or "ridx".
+	Operator string
+	// Index is the inner probe index ("" for nl and the driver stage).
+	Index string
+	// EstRows is the stage's estimated output cardinality at the time
+	// it started; ActualRows is what it produced.
+	EstRows    float64
+	ActualRows int
+	// IO is the simulated I/O attributed to this stage.
+	IO int64
+	// Reoptimized is true when this stage's operator or position was
+	// revised mid-flight.
+	Reoptimized bool
 }
 
 // EstimateSummary is the slim record of one initial-stage appraisal

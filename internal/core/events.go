@@ -53,6 +53,22 @@ const (
 	// exhaustion. Its ActualIO is the I/O invested before the unwind and
 	// its Detail names the cause.
 	EvQueryCancelled
+	// EvJoinOrderChosen records the join order the greedy planner picked
+	// at start time (Indexes carries the table order); EstimatedIO is the
+	// projected cost of the full plan.
+	EvJoinOrderChosen
+	// EvJoinStageStarted marks one join stage opening: Scan names the
+	// operator, Indexes the [table, probe index] pair, EstimatedIO the
+	// stage's estimated output cardinality.
+	EvJoinStageStarted
+	// EvJoinReoptimized marks the join executor revising its plan
+	// mid-flight — operator fallback within a stage or re-ordering of the
+	// remaining tables — after actual cardinality diverged from the
+	// estimate past the configured factor.
+	EvJoinReoptimized
+	// EvPlanCaptureRejected marks a retrieval whose outcome the plan
+	// cache refused to freeze (join plans are never frozen).
+	EvPlanCaptureRejected
 )
 
 func (k EventKind) String() string {
@@ -83,6 +99,14 @@ func (k EventKind) String() string {
 		return "fixed-plan"
 	case EvQueryCancelled:
 		return "query-cancelled"
+	case EvJoinOrderChosen:
+		return "join-order-chosen"
+	case EvJoinStageStarted:
+		return "join-stage-started"
+	case EvJoinReoptimized:
+		return "join-reoptimized"
+	case EvPlanCaptureRejected:
+		return "plan-capture-rejected"
 	default:
 		return "?"
 	}

@@ -65,6 +65,13 @@ func (p *CachedPlan) Fingerprint() string { return p.String() }
 // merely *skipped* before starting cost nothing and do not block
 // capture.
 func CapturePlan(st *RetrievalStats) (*CachedPlan, bool) {
+	// Multi-table retrievals are never frozen: a join's operator and
+	// order choices hinge on intermediate cardinalities the replay
+	// machinery cannot re-derive, and mid-flight re-optimization is the
+	// whole point of running them dynamically.
+	if st.Tactic == "join" || len(st.JoinStages) > 0 {
+		return nil, false
+	}
 	var chosen *TraceEvent
 	var started []string
 	var switches []*TraceEvent

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// Mid-stage re-optimization cadence: probe operators (inl/ridx) check
+// their measured per-probe cost against the nested-loop alternative
+// after this many outer rows, and every this-many thereafter.
+const (
+	joinReoptMinProbes  = 64
+	joinReoptCheckEvery = 64
+)
+
+// RunJoin plans and executes a multi-table retrieval dynamically: a
+// greedy join order from corrected estimates, per-stage operator
+// competition, and mid-flight re-optimization when a stage's actual
+// cardinality diverges from its estimate past Config.JoinReoptFactor.
+func (o *Optimizer) RunJoin(ec *ExecCtx, jq *JoinQuery) Rows {
+	o.metrics.recordQuery()
+	rows, err := o.runJoin(ec, jq, nil)
+	if err != nil {
+		if isCancellation(err) && ec.markCancelRecorded() {
+			o.metrics.recordCancellation(err)
+		}
+		return errRows{err: err}
+	}
+	return rows
+}
+
+// PlanJoin returns the static greedy plan for jq without executing it —
+// the baseline a dynamic run competes against (planner.PrepareJoin
+// wraps this for the System R-style comparison).
+func (o *Optimizer) PlanJoin(ec *ExecCtx, jq *JoinQuery) (*JoinPlan, error) {
+	if err := jq.validate(); err != nil {
+		return nil, err
+	}
+	infos, jts, err := o.gatherJoinInfo(ec, jq)
+	if err != nil {
+		return nil, err
+	}
+	return o.planJoin(jq, infos, jts), nil
+}
+
+// RunJoinPlan executes a previously chosen plan as-is: no mid-flight
+// re-optimization and no feedback observation, mirroring a frozen
+// single-table replay.
+func (o *Optimizer) RunJoinPlan(ec *ExecCtx, jq *JoinQuery, plan *JoinPlan) Rows {
+	o.metrics.recordQuery()
+	rows, err := o.runJoin(ec, jq, plan)
+	if err != nil {
+		if isCancellation(err) && ec.markCancelRecorded() {
+			o.metrics.recordCancellation(err)
+		}
+		return errRows{err: err}
+	}
+	return rows
+}
+
+// joinExec is the per-run state of one join execution.
+type joinExec struct {
+	o       *Optimizer
+	ec      *ExecCtx
+	jq      *JoinQuery
+	infos   []joinTableInfo
+	jts     []estimate.JoinTable
+	offs    []int
+	width   int
+	st      *RetrievalStats
+	trc     *tracer
+	dynamic bool
+	reoptF  float64
+}
+
+func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	if err := jq.validate(); err != nil {
+		return nil, err
+	}
+	infos, jts, err := o.gatherJoinInfo(ec, jq)
+	if err != nil {
+		return nil, err
+	}
+	st := RetrievalStats{Tactic: "join", QueryID: nextQueryID(), FinalListLen: -1}
+	for i := range infos {
+		st.EstimateIO += infos[i].estIO
+	}
+	trc := &tracer{st: &st, sink: o.cfg.Trace, extra: ec.traceSink(), metrics: o.metrics}
+	for i, tab := range jq.Tables {
+		if infos[i].empty {
+			trc.emit(TraceEvent{Kind: EvEmptyRange, Tactic: "join", Scan: tab.Name,
+				Detail: "local restriction empty, end of data at once"})
+			return &emptyRows{stats: st}, nil
+		}
+	}
+	plan := fixed
+	dynamic := fixed == nil && o.cfg.JoinReoptFactor > 0
+	if plan == nil {
+		plan = o.planJoin(jq, infos, jts)
+	}
+	je := &joinExec{
+		o: o, ec: ec, jq: jq, infos: infos, jts: jts,
+		offs: jq.Offsets(), width: jq.Width(), st: &st, trc: trc,
+		dynamic: dynamic, reoptF: o.cfg.JoinReoptFactor,
+	}
+	stages := append([]JoinStagePlan(nil), plan.Stages...)
+	trc.emit(TraceEvent{
+		Kind: EvJoinOrderChosen, Tactic: "join",
+		Indexes:     stageTableNames(jq, stages),
+		EstimatedIO: plan.EstIO,
+		Detail:      plan.Describe(jq),
+	})
+	// Join retrievals are structurally ineligible for plan capture
+	// (CapturePlan refuses them); announce that up front so cache-aware
+	// callers and the metrics see the rejection.
+	trc.emit(TraceEvent{
+		Kind: EvPlanCaptureRejected, Tactic: "join",
+		Detail: "multi-table retrievals are never frozen",
+	})
+
+	in := make([]bool, len(jq.Tables))
+	chosen := []int{stages[0].Table}
+	in[stages[0].Table] = true
+	cur, err := je.execDriver(&stages[0])
+	if err != nil {
+		return nil, err
+	}
+
+	replanned := false
+	for si := 1; si < len(stages); si++ {
+		// Stage boundary: if the intermediate cardinality has diverged
+		// from the estimate past the factor, re-plan the remaining
+		// tables (order and operators) from the observed count.
+		prevEst := stages[si-1].EstRows
+		actual := float64(len(cur))
+		if je.dynamic && diverged(prevEst, actual, je.reoptF) {
+			rest := o.planJoinRest(jq, infos, jts, chosen, actual)
+			if !sameStages(stages[si:], rest) {
+				trc.emit(TraceEvent{
+					Kind: EvJoinReoptimized, Tactic: "join",
+					Indexes:     stageTableNames(jq, rest),
+					EstimatedIO: prevEst, ActualIO: actual,
+					Detail: fmt.Sprintf("intermediate %d rows vs %.0f estimated: replanned remaining stages", len(cur), prevEst),
+				})
+				stages = append(stages[:si:si], rest...)
+				replanned = true
+			}
+		}
+		sg := &stages[si]
+		out, err := je.execStage(sg, cur, in)
+		if err != nil {
+			return nil, err
+		}
+		if replanned {
+			// The stage just executed was (re)chosen mid-flight.
+			st.JoinStages[len(st.JoinStages)-1].Reoptimized = true
+			replanned = false
+		}
+		in[sg.Table] = true
+		chosen = append(chosen, sg.Table)
+		cur = out
+	}
+
+	// Residual conjuncts — cross-table predicates that are not
+	// equi-joins — apply once every table is bound.
+	if jq.Residual != nil {
+		kept := make([]expr.Row, 0, len(cur))
+		for _, row := range cur {
+			ok, err := expr.EvalPred(jq.Residual, row, jq.Binds)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		cur = kept
+	}
+	if len(jq.OrderBy) > 0 {
+		sortRows(cur, jq.OrderBy, jq.OrderDesc)
+	}
+	st.Strategy = joinStrategy(jq, st.JoinStages)
+	if o.cfg.Feedback != nil && dynamic {
+		for _, sg := range st.JoinStages {
+			o.cfg.Feedback.ObserveCardinality(sg.Table, sg.Index, sg.EstRows, float64(sg.ActualRows))
+		}
+	}
+	o.metrics.recordJoin(&st)
+	return &joinRows{jq: jq, rows: cur, st: st}, nil
+}
+
+// diverged reports whether actual is off the estimate by more than
+// factor f in either direction (both sides clamped to >= 1 row so empty
+// intermediates compare sanely).
+func diverged(est, actual, f float64) bool {
+	if f <= 0 {
+		return false
+	}
+	if est < 1 {
+		est = 1
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	return actual > est*f || est > actual*f
+}
+
+// sameStages reports whether two stage sequences name the same tables,
+// operators, and probe indexes.
+func sameStages(a, b []JoinStagePlan) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Table != b[i].Table || a[i].Operator != b[i].Operator || a[i].Index != b[i].Index {
+			return false
+		}
+	}
+	return true
+}
+
+func stageTableNames(jq *JoinQuery, stages []JoinStagePlan) []string {
+	out := make([]string, len(stages))
+	for i, sg := range stages {
+		out[i] = jq.Tables[sg.Table].Name
+	}
+	return out
+}
+
+// joinStrategy renders the executed stages, e.g.
+// "A:iscan(A_IX) -> B:inl(B_IX) -> C:nl".
+func joinStrategy(jq *JoinQuery, stages []JoinStageStats) string {
+	var b strings.Builder
+	for i, sg := range stages {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(sg.Table)
+		b.WriteString(":")
+		b.WriteString(sg.Operator)
+		if sg.Index != "" {
+			fmt.Fprintf(&b, "(%s)", sg.Index)
+		}
+	}
+	return b.String()
+}
+
+// recordStage appends one executed stage to the run's stats.
+func (je *joinExec) recordStage(sg *JoinStagePlan, actualRows int, io storage.IOStats, reopt bool) {
+	je.st.IO = je.st.IO.Add(io)
+	je.st.JoinStages = append(je.st.JoinStages, JoinStageStats{
+		Table:       je.jq.Tables[sg.Table].Name,
+		Operator:    sg.Operator,
+		Index:       sg.Index,
+		EstRows:     sg.EstRows,
+		ActualRows:  actualRows,
+		IO:          io.IOCost(),
+		Reoptimized: reopt,
+	})
+}
+
+// execDriver runs stage 0: a single-table scan of the driver table
+// under its local restriction, emitting full-width flat rows.
+func (je *joinExec) execDriver(sg *JoinStagePlan) ([]expr.Row, error) {
+	t := sg.Table
+	tab := je.jq.Tables[t]
+	local := je.jq.Local[t]
+	off := je.offs[t]
+	m := newMeter(je.ec)
+	je.trc.emit(TraceEvent{
+		Kind: EvJoinStageStarted, Tactic: "join", Scan: sg.Operator,
+		Indexes: []string{tab.Name, sg.Index}, EstimatedIO: sg.EstRows,
+		Detail: "driver scan",
+	})
+	var out []expr.Row
+	emit := func(row expr.Row) {
+		fr := make(expr.Row, je.width)
+		copy(fr[off:], row)
+		out = append(out, fr)
+	}
+	if sg.Operator == "iscan" {
+		info := je.infos[t]
+		cur, err := info.restrIx.Tree.SeekTracked(info.restrLo, info.restrHi, m.tr)
+		if err != nil {
+			return nil, err
+		}
+		defer cur.Close()
+		for {
+			_, r, ok, err := cur.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			row, err := tab.FetchTracked(r, m.tr)
+			if err != nil {
+				return nil, err
+			}
+			pass, err := expr.EvalPred(local, row, je.jq.Binds)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				emit(row)
+			}
+		}
+	} else {
+		hc := tab.Heap.CursorTracked(m.tr)
+		defer hc.Close()
+		for {
+			rec, _, ok, err := hc.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			row, err := expr.DecodeRow(rec)
+			if err != nil {
+				return nil, err
+			}
+			pass, err := expr.EvalPred(local, row, je.jq.Binds)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				emit(row)
+			}
+		}
+	}
+	je.recordStage(sg, len(out), m.io(), false)
+	return out, nil
+}
+
+// stagePred is one join predicate applicable at a stage: the flat
+// position of the already-bound side and the inner table's local
+// column.
+type stagePred struct {
+	outerPos int
+	innerCol int
+}
+
+// stagePreds collects the predicates connecting table t to the
+// already-joined set.
+func (je *joinExec) stagePreds(t int, in []bool) []stagePred {
+	var out []stagePred
+	for _, p := range je.jq.Preds {
+		if p.LT == t && p.RT != t && in[p.RT] {
+			out = append(out, stagePred{outerPos: je.offs[p.RT] + p.RC, innerCol: p.LC})
+		} else if p.RT == t && p.LT != t && in[p.LT] {
+			out = append(out, stagePred{outerPos: je.offs[p.LT] + p.LC, innerCol: p.RC})
+		}
+	}
+	return out
+}
+
+// predsMatch evaluates every connecting predicate; NULL on either side
+// never matches (SQL two-valued semantics, same as expr.Cmp).
+func predsMatch(preds []stagePred, outer, inner expr.Row) bool {
+	for _, sp := range preds {
+		a, b := outer[sp.outerPos], inner[sp.innerCol]
+		if a.IsNull() || b.IsNull() || expr.Compare(a, b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// execStage runs one inner join stage with its planned operator,
+// falling back from a probe operator to nested-loop mid-stage when the
+// measured per-probe cost projects past the factor.
+func (je *joinExec) execStage(sg *JoinStagePlan, outer []expr.Row, in []bool) ([]expr.Row, error) {
+	t := sg.Table
+	tab := je.jq.Tables[t]
+	preds := je.stagePreds(t, in)
+	je.trc.emit(TraceEvent{
+		Kind: EvJoinStageStarted, Tactic: "join", Scan: sg.Operator,
+		Indexes: []string{tab.Name, sg.Index}, EstimatedIO: sg.EstRows,
+		Detail: fmt.Sprintf("%d outer rows", len(outer)),
+	})
+	switch sg.Operator {
+	case JoinOpNL:
+		out, io, err := je.execNL(t, preds, outer)
+		if err != nil {
+			return nil, err
+		}
+		je.recordStage(sg, len(out), io, false)
+		return out, nil
+	case JoinOpINL, JoinOpRIDX:
+		m := newMeter(je.ec)
+		var filter *rid.CompressedBitmap
+		if sg.Operator == JoinOpRIDX {
+			var err error
+			filter, err = je.buildBitmap(t, &m)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out, fellBack, err := je.execProbe(sg, preds, outer, filter, &m)
+		if err != nil {
+			return nil, err
+		}
+		if !fellBack {
+			je.recordStage(sg, len(out), m.io(), false)
+			return out, nil
+		}
+		// Probing is costing more than a plain scan of the inner:
+		// abandon it (the spent I/O stays attributed) and redo the
+		// stage as a nested loop over the materialized input.
+		je.trc.emit(TraceEvent{
+			Kind: EvJoinReoptimized, Tactic: "join", Scan: sg.Operator,
+			Indexes:  []string{tab.Name, sg.Index},
+			ActualIO: m.cost(),
+			Detail:   fmt.Sprintf("probe cost projects past %.0fx nested-loop scan: falling back to nl", je.reoptF),
+		})
+		spent := m.io()
+		sg.Operator, sg.Index = JoinOpNL, ""
+		out, io, err := je.execNL(t, preds, outer)
+		if err != nil {
+			return nil, err
+		}
+		je.recordStage(sg, len(out), spent.Add(io), true)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown join operator %q", sg.Operator)
+	}
+}
+
+// execNL joins by scanning the inner heap once, keeping rows that pass
+// the local restriction in memory, and looping over outer × inner.
+func (je *joinExec) execNL(t int, preds []stagePred, outer []expr.Row) ([]expr.Row, storage.IOStats, error) {
+	m := newMeter(je.ec)
+	tab := je.jq.Tables[t]
+	local := je.jq.Local[t]
+	off := je.offs[t]
+	hc := tab.Heap.CursorTracked(m.tr)
+	defer hc.Close()
+	var inner []expr.Row
+	for {
+		rec, _, ok, err := hc.Next()
+		if err != nil {
+			return nil, m.io(), err
+		}
+		if !ok {
+			break
+		}
+		row, err := expr.DecodeRow(rec)
+		if err != nil {
+			return nil, m.io(), err
+		}
+		pass, err := expr.EvalPred(local, row, je.jq.Binds)
+		if err != nil {
+			return nil, m.io(), err
+		}
+		if pass {
+			inner = append(inner, row)
+		}
+	}
+	var out []expr.Row
+	for _, orow := range outer {
+		for _, irow := range inner {
+			if predsMatch(preds, orow, irow) {
+				out = append(out, combineRows(orow, irow, off))
+			}
+		}
+	}
+	return out, m.io(), nil
+}
+
+// buildBitmap scans the inner table's restriction-index range and
+// packs the qualifying RIDs into an exact compressed bitmap — the
+// RID-intersect half of the ridx operator.
+func (je *joinExec) buildBitmap(t int, m *meter) (*rid.CompressedBitmap, error) {
+	info := je.infos[t]
+	if info.restrIx == nil {
+		return nil, fmt.Errorf("core: ridx stage on %s without a restriction index", je.jq.Tables[t].Name)
+	}
+	cur, err := info.restrIx.Tree.SeekTracked(info.restrLo, info.restrHi, m.tr)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var rids []storage.RID
+	for {
+		_, r, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rids = append(rids, r)
+	}
+	return rid.FromRIDs(rids), nil
+}
+
+// execProbe joins by probing the inner index once per outer row,
+// optionally filtering candidate RIDs through a restriction bitmap
+// before fetching. Returns fellBack=true when the mid-stage checkpoint
+// decides a nested loop would be cheaper (partial output discarded).
+func (je *joinExec) execProbe(sg *JoinStagePlan, preds []stagePred, outer []expr.Row, filter *rid.CompressedBitmap, m *meter) (_ []expr.Row, fellBack bool, _ error) {
+	t := sg.Table
+	tab := je.jq.Tables[t]
+	ix := tab.IndexByName(sg.Index)
+	if ix == nil {
+		return nil, false, fmt.Errorf("core: join probe index %s.%s not found", tab.Name, sg.Index)
+	}
+	probeCol := ix.LeadingCol()
+	probe := -1
+	for i, sp := range preds {
+		if sp.innerCol == probeCol {
+			probe = i
+			break
+		}
+	}
+	if probe == -1 {
+		return nil, false, fmt.Errorf("core: no join predicate drives probe index %s.%s", tab.Name, sg.Index)
+	}
+	local := je.jq.Local[t]
+	off := je.offs[t]
+	var out []expr.Row
+	for oi, orow := range outer {
+		// Mid-stage checkpoint: extrapolate the remaining probe cost
+		// from what probing has actually charged so far and compare to
+		// scanning the inner once.
+		if je.dynamic && oi >= joinReoptMinProbes && oi%joinReoptCheckEvery == 0 {
+			avg := m.cost() / float64(oi)
+			remaining := float64(len(outer) - oi)
+			if avg*remaining > je.reoptF*je.jts[t].Pages {
+				return nil, true, nil
+			}
+		}
+		v := orow[preds[probe].outerPos]
+		if v.IsNull() {
+			continue
+		}
+		lo := expr.EncodeKey(nil, v)
+		hi := expr.KeySuccessor(lo)
+		cur, err := ix.Tree.SeekTracked(lo, hi, m.tr)
+		if err != nil {
+			return nil, false, err
+		}
+		for {
+			_, r, ok, err := cur.Next()
+			if err != nil {
+				cur.Close()
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			if filter != nil && !filter.MayContain(r) {
+				continue
+			}
+			row, err := tab.FetchTracked(r, m.tr)
+			if err != nil {
+				cur.Close()
+				return nil, false, err
+			}
+			pass, err := expr.EvalPred(local, row, je.jq.Binds)
+			if err != nil {
+				cur.Close()
+				return nil, false, err
+			}
+			if pass && predsMatch(preds, orow, row) {
+				out = append(out, combineRows(orow, row, off))
+			}
+		}
+		cur.Close()
+	}
+	return out, false, nil
+}
+
+// combineRows binds an inner row into a copy of the outer flat row at
+// the inner table's offset.
+func combineRows(outer, inner expr.Row, off int) expr.Row {
+	fr := make(expr.Row, len(outer))
+	copy(fr, outer)
+	copy(fr[off:off+len(inner)], inner)
+	return fr
+}
+
+// joinRows delivers the materialized join result with projection and
+// limit, mirroring sliceRows for the single-table sort path.
+type joinRows struct {
+	jq   *JoinQuery
+	rows []expr.Row
+	i    int
+	st   RetrievalStats
+}
+
+func (s *joinRows) Next() (expr.Row, bool, error) {
+	if s.i >= len(s.rows) || (s.jq.Limit > 0 && s.st.RowsDelivered >= s.jq.Limit) {
+		return nil, false, nil
+	}
+	row := s.jq.project(s.rows[s.i])
+	s.i++
+	s.st.RowsDelivered++
+	return row, true, nil
+}
+
+func (s *joinRows) Close() error          { return nil }
+func (s *joinRows) Stats() RetrievalStats { return s.st }

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/feedback"
+	"rdbdyn/internal/storage"
+)
+
+// joinFixture builds a three-table star: CUST (ID, SEG, NAME),
+// ORD (ID, CUST, ITEM, QTY, PAD), ITEM (ID, KIND). ORD.CUST references
+// CUST.ID, ORD.ITEM references ITEM.ID. The PAD column fattens order
+// rows so the orders heap spans many pages and random fetches hurt.
+type joinFixture struct {
+	cat              *catalog.Catalog
+	pool             *storage.BufferPool
+	cust, ord, item  *catalog.Table
+	custRows         []expr.Row
+	ordRows          []expr.Row
+	itemRows         []expr.Row
+	nCust, nOrd, nIt int
+}
+
+// newJoinFixture builds the star with a bounded pool of `frames`
+// frames (0 = unbounded). Same seed -> byte-identical twin databases.
+func newJoinFixture(t testing.TB, nCust, nOrd, nItem, frames int, nullCusts bool) *joinFixture {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewDisk(4096), frames)
+	cat := catalog.New(pool)
+	f := &joinFixture{cat: cat, pool: pool, nCust: nCust, nOrd: nOrd, nIt: nItem}
+	var err error
+	f.cust, err = cat.CreateTable("CUST", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "SEG", Type: expr.TypeInt},
+		{Name: "NAME", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ord, err = cat.CreateTable("ORD", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "CUST", Type: expr.TypeInt},
+		{Name: "ITEM", Type: expr.TypeInt},
+		{Name: "QTY", Type: expr.TypeInt},
+		{Name: "PAD", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.item, err = cat.CreateTable("ITEM", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "KIND", Type: expr.TypeInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range [][3]string{
+		{"CUST", "CUST_ID_IX", "ID"},
+		{"ORD", "ORD_CUST_IX", "CUST"},
+		{"ORD", "ORD_QTY_IX", "QTY"},
+		{"ITEM", "ITEM_ID_IX", "ID"},
+	} {
+		tab, err := cat.Table(ix[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.CreateIndex(ix[1], ix[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	pad := strings.Repeat("x", 400)
+	for i := 0; i < nCust; i++ {
+		// SEG skew: 60% of customers are segment 0.
+		seg := int64(rng.Intn(5))
+		if rng.Intn(10) < 6 {
+			seg = 0
+		}
+		row := expr.Row{expr.Int(int64(i)), expr.Int(seg), expr.Str(fmt.Sprintf("c-%04d", i))}
+		if _, err := f.cust.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		f.custRows = append(f.custRows, row)
+	}
+	for i := 0; i < nOrd; i++ {
+		cust := expr.Int(rng.Int63n(int64(nCust)))
+		if nullCusts && rng.Intn(20) == 0 {
+			cust = expr.Null()
+		}
+		row := expr.Row{
+			expr.Int(int64(i)), cust,
+			expr.Int(rng.Int63n(int64(nItem))),
+			expr.Int(1 + rng.Int63n(9)),
+			expr.Str(pad),
+		}
+		if _, err := f.ord.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		f.ordRows = append(f.ordRows, row)
+	}
+	for i := 0; i < nItem; i++ {
+		row := expr.Row{expr.Int(int64(i)), expr.Int(rng.Int63n(4))}
+		if _, err := f.item.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		f.itemRows = append(f.itemRows, row)
+	}
+	return f
+}
+
+// custOrdQuery joins CUST and ORD on CUST.ID = ORD.CUST with an
+// optional local restriction on CUST.
+func (f *joinFixture) custOrdQuery(custLocal expr.Expr) *JoinQuery {
+	return &JoinQuery{
+		Tables: []*catalog.Table{f.cust, f.ord},
+		Local:  []expr.Expr{custLocal, nil},
+		Preds:  []JoinPred{{LT: 0, LC: 0, RT: 1, RC: 1}},
+	}
+}
+
+// starQuery joins all three tables: CUST.ID = ORD.CUST and
+// ORD.ITEM = ITEM.ID, with optional local restrictions.
+func (f *joinFixture) starQuery(custLocal, ordLocal expr.Expr) *JoinQuery {
+	return &JoinQuery{
+		Tables: []*catalog.Table{f.cust, f.ord, f.item},
+		Local:  []expr.Expr{custLocal, ordLocal, nil},
+		Preds: []JoinPred{
+			{LT: 0, LC: 0, RT: 1, RC: 1},
+			{LT: 1, LC: 2, RT: 2, RC: 0},
+		},
+	}
+}
+
+// oracleJoin computes the expected join result with an independent
+// hash-join implementation over the in-memory row copies: tables fold
+// in declaration order, each step probing a hash table on the first
+// applicable equi-join column pair (remaining predicates and the
+// residual check afterwards).
+func oracleJoin(t testing.TB, jq *JoinQuery, tabRows [][]expr.Row) []expr.Row {
+	t.Helper()
+	offs := jq.Offsets()
+	width := jq.Width()
+	// Filter each table by its local restriction.
+	filtered := make([][]expr.Row, len(tabRows))
+	for i, rows := range tabRows {
+		for _, row := range rows {
+			ok, err := expr.EvalPred(jq.Local[i], row, jq.Binds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				filtered[i] = append(filtered[i], row)
+			}
+		}
+	}
+	acc := []expr.Row{make(expr.Row, width)}
+	bound := make([]bool, len(tabRows))
+	first := true
+	for ti, rows := range filtered {
+		// Predicates connecting table ti to the already-bound tables,
+		// as (flat outer position, local inner column) pairs.
+		var pairs [][2]int
+		for _, p := range jq.Preds {
+			if p.LT == ti && bound[p.RT] {
+				pairs = append(pairs, [2]int{offs[p.RT] + p.RC, p.LC})
+			} else if p.RT == ti && bound[p.LT] {
+				pairs = append(pairs, [2]int{offs[p.LT] + p.LC, p.RC})
+			}
+		}
+		var next []expr.Row
+		if len(pairs) > 0 && !first {
+			// Hash on the first pair's inner column.
+			ht := map[string][]expr.Row{}
+			for _, row := range rows {
+				v := row[pairs[0][1]]
+				if v.IsNull() {
+					continue
+				}
+				ht[v.String()] = append(ht[v.String()], row)
+			}
+			for _, a := range acc {
+				ov := a[pairs[0][0]]
+				if ov.IsNull() {
+					continue
+				}
+				for _, row := range ht[ov.String()] {
+					match := true
+					for _, pr := range pairs[1:] {
+						x, y := a[pr[0]], row[pr[1]]
+						if x.IsNull() || y.IsNull() || expr.Compare(x, y) != 0 {
+							match = false
+							break
+						}
+					}
+					if match {
+						fr := make(expr.Row, width)
+						copy(fr, a)
+						copy(fr[offs[ti]:], row)
+						next = append(next, fr)
+					}
+				}
+			}
+		} else {
+			// First table, or a cross step.
+			for _, a := range acc {
+				for _, row := range rows {
+					fr := make(expr.Row, width)
+					copy(fr, a)
+					copy(fr[offs[ti]:], row)
+					next = append(next, fr)
+				}
+			}
+		}
+		acc = next
+		bound[ti] = true
+		first = false
+	}
+	var out []expr.Row
+	for _, a := range acc {
+		ok, err := expr.EvalPred(jq.Residual, a, jq.Binds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			out = append(out, jq.project(a))
+		}
+	}
+	return out
+}
+
+// multiset canonicalizes rows for order-insensitive comparison.
+func multiset(rows []expr.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = rowKey(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func drainJoin(t testing.TB, rows Rows) ([]expr.Row, RetrievalStats) {
+	t.Helper()
+	var out []expr.Row
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row.Clone())
+	}
+	st := rows.Stats()
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+func assertSameRows(t *testing.T, label string, got, want []expr.Row) {
+	t.Helper()
+	g, w := multiset(got), multiset(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: row %d mismatch:\n got  %s\n want %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestJoinOperatorEquivalence forces each stage operator in turn on the
+// same CUST-ORD join and checks every one against the hash-join oracle.
+// Duplicate keys (several orders per customer) and NULL join keys are
+// both present in the fixture.
+func TestJoinOperatorEquivalence(t *testing.T) {
+	// Bounded pool so fetches actually miss and the I/O assertion bites.
+	f := newJoinFixture(t, 100, 600, 20, 64, true)
+	// Local restriction on ORD (QTY >= 8, sargable via ORD_QTY_IX) so
+	// ridx has a restriction bitmap to intersect.
+	ordLocal := expr.NewCmp(expr.GE, expr.Col(3, "QTY"), expr.Lit(expr.Int(8)))
+	jq := f.custOrdQuery(nil)
+	jq.Local[1] = ordLocal
+	want := oracleJoin(t, jq, [][]expr.Row{f.custRows, f.ordRows})
+
+	for _, op := range []struct {
+		name  string
+		index string
+	}{
+		{JoinOpNL, ""},
+		{JoinOpINL, "ORD_CUST_IX"},
+		{JoinOpRIDX, "ORD_CUST_IX"},
+	} {
+		t.Run(op.name, func(t *testing.T) {
+			o := NewOptimizer(Config{})
+			plan := &JoinPlan{Stages: []JoinStagePlan{
+				{Table: 0, Operator: "tscan", EstRows: float64(f.nCust)},
+				{Table: 1, Operator: op.name, Index: op.index, EstRows: 1},
+			}}
+			q := f.custOrdQuery(nil)
+			q.Local[1] = ordLocal
+			got, st := drainJoin(t, o.RunJoinPlan(nil, q, plan))
+			assertSameRows(t, op.name, got, want)
+			if len(st.JoinStages) != 2 {
+				t.Fatalf("want 2 join stages, got %d", len(st.JoinStages))
+			}
+			if st.JoinStages[1].Operator != op.name {
+				t.Fatalf("stage 1 ran %s, want %s", st.JoinStages[1].Operator, op.name)
+			}
+			if st.JoinStages[1].Reoptimized {
+				t.Fatalf("fixed plan must not re-optimize")
+			}
+			if st.IO.IOCost() <= 0 {
+				t.Fatalf("join attributed no I/O")
+			}
+		})
+	}
+}
+
+// TestJoinDynamicEquivalence runs the fully dynamic path (planning,
+// competition, possible re-optimization) against the oracle on the
+// three-table star, with and without local restrictions.
+func TestJoinDynamicEquivalence(t *testing.T) {
+	f := newJoinFixture(t, 100, 600, 20, 0, true)
+	cases := []struct {
+		name     string
+		jq       func() *JoinQuery
+		tabs     [][]expr.Row
+		binds    expr.Bindings
+		residual bool
+	}{
+		{
+			name: "two-table no restriction",
+			jq:   func() *JoinQuery { return f.custOrdQuery(nil) },
+			tabs: [][]expr.Row{f.custRows, f.ordRows},
+		},
+		{
+			name: "star with local restrictions",
+			jq: func() *JoinQuery {
+				return f.starQuery(
+					expr.NewCmp(expr.EQ, expr.Col(1, "SEG"), expr.Lit(expr.Int(0))),
+					expr.NewCmp(expr.GE, expr.Col(3, "QTY"), expr.Lit(expr.Int(5))),
+				)
+			},
+			tabs: [][]expr.Row{f.custRows, f.ordRows, f.itemRows},
+		},
+		{
+			name: "star with residual and projection",
+			jq: func() *JoinQuery {
+				jq := f.starQuery(nil, nil)
+				// CUST.SEG > ITEM.KIND spans tables without being an
+				// equi-join: flat positions 1 (CUST.SEG) and 9 (ITEM.KIND).
+				jq.Residual = expr.NewCmp(expr.GT, expr.Col(1, "SEG"), expr.Col(9, "KIND"))
+				jq.Projection = []int{2, 6, 9} // CUST.NAME, ORD.QTY, ITEM.KIND
+				return jq
+			},
+			tabs: [][]expr.Row{f.custRows, f.ordRows, f.itemRows},
+		},
+		{
+			name: "empty range",
+			jq: func() *JoinQuery {
+				return f.custOrdQuery(
+					expr.NewCmp(expr.EQ, expr.Col(0, "ID"), expr.Lit(expr.Int(-5))))
+			},
+			tabs: [][]expr.Row{f.custRows, f.ordRows},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := NewOptimizer(Config{})
+			want := oracleJoin(t, tc.jq(), tc.tabs)
+			got, _ := drainJoin(t, o.RunJoin(nil, tc.jq()))
+			assertSameRows(t, tc.name, got, want)
+		})
+	}
+}
+
+// TestJoinOrderAndLimit checks ORDER BY and LIMIT over the join result.
+func TestJoinOrderAndLimit(t *testing.T) {
+	f := newJoinFixture(t, 50, 200, 10, 0, false)
+	o := NewOptimizer(Config{})
+	jq := f.custOrdQuery(nil)
+	jq.OrderBy = []int{3} // ORD.ID (flat: 3 CUST cols... CUST has 3 cols, so ORD.ID = 3)
+	jq.Limit = 7
+	got, st := drainJoin(t, o.RunJoin(nil, jq))
+	if len(got) != 7 {
+		t.Fatalf("LIMIT 7 delivered %d rows", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if expr.Compare(got[i-1][3], got[i][3]) > 0 {
+			t.Fatalf("rows not ordered by ORD.ID at %d", i)
+		}
+	}
+	if st.RowsDelivered != 7 {
+		t.Fatalf("stats say %d rows delivered, want 7", st.RowsDelivered)
+	}
+}
+
+// TestJoinReoptimizedBeatsStatic is the acceptance scenario: feedback
+// poisoned to grossly underestimate the driver's filtered cardinality
+// makes the static plan choose index-nested-loop probing for the big
+// orders table. The dynamic run sees the real driver cardinality at the
+// first stage boundary, emits join-reoptimized, switches the orders
+// stage to a nested-loop scan, and finishes with less attributed I/O
+// than the static plan on a twin database.
+func TestJoinReoptimizedBeatsStatic(t *testing.T) {
+	const frames = 128
+	poison := func() *feedback.Registry {
+		fb := feedback.New(0)
+		// One observation adopts the ratio outright; 10 vs 160 clamps
+		// to the 1/16 floor. The driver's unsargable SEG restriction
+		// estimates through corr("").
+		fb.ObserveCardinality("CUST", "", 160, 10)
+		return fb
+	}
+	seg0 := func() expr.Expr {
+		return expr.NewCmp(expr.EQ, expr.Col(1, "SEG"), expr.Lit(expr.Int(0)))
+	}
+
+	// Static leg: plan with the poisoned estimates, then replay the
+	// frozen plan with re-optimization off.
+	fStatic := newJoinFixture(t, 1000, 4000, 50, frames, false)
+	oStatic := NewOptimizer(Config{Feedback: poison()})
+	jqS := fStatic.starQuery(seg0(), nil)
+	plan, err := oStatic.PlanJoin(nil, jqS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Stages[1].Operator; got != JoinOpINL {
+		t.Fatalf("static plan chose %s for the orders stage, want %s (plan %s)",
+			got, JoinOpINL, plan.Describe(jqS))
+	}
+	staticRows, stS := drainJoin(t, oStatic.RunJoinPlan(nil, fStatic.starQuery(seg0(), nil), plan))
+
+	// Dynamic leg on a twin database: same data, same poisoned
+	// estimates, re-optimization on.
+	fDyn := newJoinFixture(t, 1000, 4000, 50, frames, false)
+	oDyn := NewOptimizer(Config{Feedback: poison()})
+	dynRows, stD := drainJoin(t, oDyn.RunJoin(nil, fDyn.starQuery(seg0(), nil)))
+
+	assertSameRows(t, "static vs dynamic", dynRows, staticRows)
+
+	var reopted bool
+	for _, ev := range stD.Events {
+		if ev.Kind == EvJoinReoptimized {
+			reopted = true
+		}
+	}
+	if !reopted {
+		t.Fatalf("dynamic run did not emit %s; events: %v", EvJoinReoptimized, stD.Trace)
+	}
+	ioS, ioD := stS.IO.IOCost(), stD.IO.IOCost()
+	if ioD >= ioS {
+		t.Fatalf("dynamic I/O %d not below static %d (dynamic %s, static %s)",
+			ioD, ioS, stD.Strategy, stS.Strategy)
+	}
+	t.Logf("static %s: %d I/O; dynamic %s: %d I/O", stS.Strategy, ioS, stD.Strategy, ioD)
+}
+
+// TestJoinDeterminism runs the same dynamic join on twin databases and
+// expects identical strategies, stage stats, and attributed I/O —
+// re-optimization is driven only by deterministic estimates and counts.
+func TestJoinDeterminism(t *testing.T) {
+	run := func() ([]expr.Row, RetrievalStats) {
+		f := newJoinFixture(t, 400, 1500, 30, 128, true)
+		o := NewOptimizer(Config{})
+		jq := f.starQuery(
+			expr.NewCmp(expr.EQ, expr.Col(1, "SEG"), expr.Lit(expr.Int(0))), nil)
+		return drainJoin(t, o.RunJoin(nil, jq))
+	}
+	rows1, st1 := run()
+	rows2, st2 := run()
+	assertSameRows(t, "twin rows", rows1, rows2)
+	if st1.Strategy != st2.Strategy {
+		t.Fatalf("strategies differ: %q vs %q", st1.Strategy, st2.Strategy)
+	}
+	if st1.IO != st2.IO {
+		t.Fatalf("attributed I/O differs: %+v vs %+v", st1.IO, st2.IO)
+	}
+	if len(st1.JoinStages) != len(st2.JoinStages) {
+		t.Fatalf("stage counts differ: %d vs %d", len(st1.JoinStages), len(st2.JoinStages))
+	}
+	for i := range st1.JoinStages {
+		if st1.JoinStages[i] != st2.JoinStages[i] {
+			t.Fatalf("stage %d differs: %+v vs %+v", i, st1.JoinStages[i], st2.JoinStages[i])
+		}
+	}
+}
+
+// TestJoinFeedsCardinalityFeedback checks the per-stage actuals flow
+// into the feedback registry after a dynamic join.
+func TestJoinFeedsCardinalityFeedback(t *testing.T) {
+	f := newJoinFixture(t, 100, 400, 20, 0, false)
+	fb := feedback.New(0)
+	o := NewOptimizer(Config{Feedback: fb})
+	jq := f.starQuery(
+		expr.NewCmp(expr.EQ, expr.Col(1, "SEG"), expr.Lit(expr.Int(0))), nil)
+	_, st := drainJoin(t, o.RunJoin(nil, jq))
+	if len(st.JoinStages) != 3 {
+		t.Fatalf("want 3 stages, got %d", len(st.JoinStages))
+	}
+	if len(fb.Snapshot()) == 0 {
+		t.Fatalf("dynamic join recorded no feedback corrections")
+	}
+}
+
+// TestCapturePlanRejectsJoin is the regression guard: multi-table
+// retrievals must never freeze into the plan cache, and every dynamic
+// join announces that with a plan-capture-rejected event.
+func TestCapturePlanRejectsJoin(t *testing.T) {
+	f := newJoinFixture(t, 60, 200, 10, 0, false)
+	o := NewOptimizer(Config{})
+	_, st := drainJoin(t, o.RunJoin(nil, f.custOrdQuery(nil)))
+	if plan, ok := CapturePlan(&st); ok {
+		t.Fatalf("CapturePlan froze a join retrieval as %s", plan)
+	}
+	var rejected bool
+	for _, ev := range st.Events {
+		if ev.Kind == EvPlanCaptureRejected {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatalf("join run did not emit %s", EvPlanCaptureRejected)
+	}
+	if got := o.Metrics().Snapshot(); got.PlanCaptureRejected == 0 || got.JoinQueries == 0 {
+		t.Fatalf("metrics missed the join: %+v", got)
+	}
+}
+
+// TestJoinValidate exercises the structural checks.
+func TestJoinValidate(t *testing.T) {
+	f := newJoinFixture(t, 10, 20, 5, 0, false)
+	o := NewOptimizer(Config{})
+	bad := []*JoinQuery{
+		{Tables: []*catalog.Table{f.cust}, Local: []expr.Expr{nil}},
+		{Tables: []*catalog.Table{f.cust, f.ord}, Local: []expr.Expr{nil}},
+		{Tables: []*catalog.Table{f.cust, f.ord}, Local: []expr.Expr{nil, nil},
+			Preds: []JoinPred{{LT: 0, LC: 9, RT: 1, RC: 0}}},
+	}
+	for i, jq := range bad {
+		rows := o.RunJoin(nil, jq)
+		if _, _, err := rows.Next(); err == nil {
+			t.Fatalf("case %d: invalid join query executed without error", i)
+		}
+		rows.Close()
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/estimate"
+)
+
+// joinTableInfo is the gathered planning state of one FROM table: its
+// (corrected) filtered cardinality, the best restriction index, and
+// distinct estimates for its join columns.
+type joinTableInfo struct {
+	card  float64 // estimated rows after the local restriction
+	exact bool
+	empty bool // local restriction provably matches nothing
+	// restrIx is the most selective restriction index (nil when the
+	// local restriction is unsargable or absent); restrLo/restrHi its
+	// scan bounds, restrRIDs its estimated entry count.
+	restrIx          *catalog.Index
+	restrLo, restrHi []byte
+	restrRIDs        float64
+	estIO            int64
+}
+
+// JoinStagePlan is one planned stage: the table it joins in, the
+// operator, the probe index (inl/ridx; the driver's scan index for
+// stage 0), and the estimated output cardinality and I/O.
+type JoinStagePlan struct {
+	Table    int
+	Operator string
+	Index    string
+	EstRows  float64
+	EstIO    float64
+}
+
+// JoinPlan is a complete join execution plan: greedy table order plus a
+// per-stage operator choice. Stage 0 is the driver scan.
+type JoinPlan struct {
+	Stages []JoinStagePlan
+	EstIO  float64
+}
+
+// String renders the plan as "T0:tscan -> T1:inl(IX) -> T2:nl".
+func (p *JoinPlan) Describe(jq *JoinQuery) string {
+	var b strings.Builder
+	for i, sg := range p.Stages {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(jq.Tables[sg.Table].Name)
+		b.WriteString(":")
+		b.WriteString(sg.Operator)
+		if sg.Index != "" {
+			fmt.Fprintf(&b, "(%s)", sg.Index)
+		}
+	}
+	return b.String()
+}
+
+// joinEdges converts the query's predicates to estimator edges.
+func joinEdges(jq *JoinQuery) []estimate.JoinEdge {
+	out := make([]estimate.JoinEdge, len(jq.Preds))
+	for i, p := range jq.Preds {
+		out[i] = estimate.JoinEdge{T1: p.LT, C1: p.LC, T2: p.RT, C2: p.RC}
+	}
+	return out
+}
+
+// gatherJoinInfo appraises every FROM table: filtered cardinality via
+// the initial-stage estimator (feedback-corrected, charging estimation
+// I/O), plus deterministic distinct-value samples for each join column.
+func (o *Optimizer) gatherJoinInfo(ec *ExecCtx, jq *JoinQuery) ([]joinTableInfo, []estimate.JoinTable, error) {
+	infos := make([]joinTableInfo, len(jq.Tables))
+	jts := make([]estimate.JoinTable, len(jq.Tables))
+	for i, tab := range jq.Tables {
+		info := joinTableInfo{card: float64(tab.Cardinality()), exact: true}
+		if local := jq.Local[i]; local != nil {
+			// Only indexes the restriction actually bounds are useful;
+			// an unrestricted index would just count the whole table.
+			var useful []*catalog.Index
+			for _, ix := range tab.Indexes {
+				lo, hi, n, empty := ix.RestrictionBounds(local, jq.Binds)
+				if empty && n > 0 {
+					info.empty = true
+				}
+				if n > 0 && (lo != nil || hi != nil) {
+					useful = append(useful, ix)
+				}
+			}
+			if !info.empty && len(useful) > 0 {
+				res, err := estimate.Appraise(useful, local, jq.Binds, estimate.Options{
+					ShortRange: o.cfg.ShortRange,
+					Governor:   ec.Governor(),
+					Correction: o.cfg.Feedback.CorrectionFor(tab.Name),
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				info.estIO = res.TotalCost
+				if res.EmptyRange {
+					info.empty = true
+				} else if len(res.Estimates) > 0 {
+					best := res.Estimates[0]
+					info.card = best.RIDs
+					info.exact = best.Exact
+					info.restrIx = best.Index
+					info.restrLo, info.restrHi = best.Lo, best.Hi
+					info.restrRIDs = best.RIDs
+				}
+			} else if !info.empty {
+				// Unsargable restriction: the classic 10% guess, scaled
+				// by any learned whole-table correction (join stage
+				// actuals observe under the stage's index name, the
+				// driver's tscan under "").
+				info.card = float64(tab.Cardinality()) / 10
+				info.exact = false
+				if corr := o.cfg.Feedback.CorrectionFor(tab.Name); corr != nil {
+					info.card *= corr("")
+				}
+			}
+		}
+		infos[i] = info
+		jt := estimate.JoinTable{
+			Name:  tab.Name,
+			Card:  info.card,
+			Rows:  float64(tab.Cardinality()),
+			Pages: float64(tab.Pages()),
+		}
+		for _, p := range jq.Preds {
+			for _, tc := range [2][2]int{{p.LT, p.LC}, {p.RT, p.RC}} {
+				if tc[0] != i {
+					continue
+				}
+				if jt.Distinct == nil {
+					jt.Distinct = map[int]float64{}
+				}
+				if _, done := jt.Distinct[tc[1]]; done {
+					continue
+				}
+				if ix := indexOnCol(tab, tc[1]); ix != nil {
+					jt.Distinct[tc[1]] = estimate.DistinctEstimate(ix)
+				}
+			}
+		}
+		jts[i] = jt
+	}
+	return infos, jts, nil
+}
+
+// indexOnCol returns the first index whose leading column is col.
+func indexOnCol(tab *catalog.Table, col int) *catalog.Index {
+	for _, ix := range tab.Indexes {
+		if ix.LeadingCol() == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// probeIndex finds an index usable for index-nested-loop probing of
+// table t: one whose leading column is the inner column of a predicate
+// connecting t to the already-joined set.
+func probeIndex(jq *JoinQuery, t int, in func(int) bool) (*catalog.Index, int) {
+	for _, p := range jq.Preds {
+		if p.LT == t && in(p.RT) {
+			if ix := indexOnCol(jq.Tables[t], p.LC); ix != nil {
+				return ix, p.LC
+			}
+		}
+		if p.RT == t && in(p.LT) {
+			if ix := indexOnCol(jq.Tables[t], p.RC); ix != nil {
+				return ix, p.RC
+			}
+		}
+	}
+	return nil, -1
+}
+
+// chooseJoinOp costs the three stage operators for joining table t into
+// an intermediate of inRows rows and returns the cheapest.
+//
+//	nl   — one tracked heap scan of t (materialized in memory):  Pages(t)
+//	inl  — a B-tree descent plus one fetch per key match, per outer row:
+//	       inRows · (height + Rows/d)
+//	ridx — inl probing filtered through a restriction-range RID bitmap:
+//	       leafPages(range) + inRows · (height + (Rows/d)·sel)
+func chooseJoinOp(jq *JoinQuery, infos []joinTableInfo, jts []estimate.JoinTable, t int, in func(int) bool, inRows, outRows float64) JoinStagePlan {
+	sg := JoinStagePlan{Table: t, Operator: JoinOpNL, EstRows: outRows}
+	jt := jts[t]
+	sg.EstIO = jt.Pages
+	ix, col := probeIndex(jq, t, in)
+	if ix == nil {
+		return sg
+	}
+	d := jt.Rows * estimate.DefaultJoinDistinctFraction
+	if dd, ok := jt.Distinct[col]; ok && dd >= 1 {
+		d = dd
+	}
+	if d < 1 {
+		d = 1
+	}
+	matches := jt.Rows / d
+	height := float64(ix.Tree.Height())
+	if inlCost := inRows * (height + matches); inlCost < sg.EstIO {
+		sg.Operator, sg.Index, sg.EstIO = JoinOpINL, ix.Name, inlCost
+	}
+	info := infos[t]
+	if info.restrIx != nil && jt.Rows > 0 {
+		sel := jt.Card / jt.Rows
+		model := estimate.CostModel{TablePages: int(jt.Pages), TableRows: int64(jt.Rows)}
+		bitmapCost := model.LeafPages(info.restrRIDs, info.restrIx.Tree.AvgLeafEntries()) +
+			float64(info.restrIx.Tree.Height())
+		if ridxCost := bitmapCost + inRows*(height+matches*sel); ridxCost < sg.EstIO {
+			sg.Operator, sg.Index, sg.EstIO = JoinOpRIDX, ix.Name, ridxCost
+		}
+	}
+	return sg
+}
+
+// planJoinRest orders and costs the stages for the tables not yet
+// joined — the shared engine of initial planning and mid-flight
+// re-optimization.
+func (o *Optimizer) planJoinRest(jq *JoinQuery, infos []joinTableInfo, jts []estimate.JoinTable, chosen []int, curRows float64) []JoinStagePlan {
+	rest := estimate.GreedyJoinRest(jts, joinEdges(jq), chosen, curRows)
+	in := make([]bool, len(jq.Tables))
+	for _, t := range chosen {
+		in[t] = true
+	}
+	inSet := func(t int) bool { return in[t] }
+	out := make([]JoinStagePlan, 0, len(rest))
+	cur := curRows
+	for _, r := range rest {
+		sg := chooseJoinOp(jq, infos, jts, r.Table, inSet, cur, r.OutRows)
+		out = append(out, sg)
+		in[r.Table] = true
+		cur = r.OutRows
+	}
+	return out
+}
+
+// planJoin builds the full static plan: greedy driver choice, then
+// planJoinRest for the remaining tables. The driver scans its table via
+// the best restriction index when that beats a sequential scan.
+func (o *Optimizer) planJoin(jq *JoinQuery, infos []joinTableInfo, jts []estimate.JoinTable) *JoinPlan {
+	driver := 0
+	for i := 1; i < len(jts); i++ {
+		if jts[i].Card < jts[driver].Card {
+			driver = i
+		}
+	}
+	dsg := JoinStagePlan{Table: driver, Operator: "tscan", EstRows: jts[driver].Card, EstIO: jts[driver].Pages}
+	if info := infos[driver]; info.restrIx != nil {
+		model := estimate.CostModel{TablePages: int(jts[driver].Pages), TableRows: int64(jts[driver].Rows)}
+		ixCost := model.FscanCost(info.restrRIDs, info.restrIx.Tree.AvgLeafEntries(), info.restrIx.Tree.Height())
+		if ixCost < dsg.EstIO {
+			dsg.Operator, dsg.Index, dsg.EstIO = "iscan", info.restrIx.Name, ixCost
+		}
+	}
+	plan := &JoinPlan{Stages: append([]JoinStagePlan{dsg},
+		o.planJoinRest(jq, infos, jts, []int{driver}, dsg.EstRows)...)}
+	for _, sg := range plan.Stages {
+		plan.EstIO += sg.EstIO
+	}
+	return plan
+}

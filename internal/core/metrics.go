@@ -43,6 +43,13 @@ type Metrics struct {
 	tacticWins       [tacticKindCount]atomic.Int64
 	estErr           [estErrBuckets]atomic.Int64
 	estErrZero       atomic.Int64
+
+	// Multi-table retrieval counters.
+	joinQueries     atomic.Int64
+	joinOrders      atomic.Int64
+	joinReopts      atomic.Int64
+	joinOpWins      [joinOpCount]atomic.Int64
+	planCaptureRejs atomic.Int64
 }
 
 // onEvent folds one emitted event into the decision counters.
@@ -58,6 +65,26 @@ func (m *Metrics) onEvent(ev TraceEvent) {
 		m.racesResolved.Add(1)
 	case EvBorrowOverflow:
 		m.borrowOverflows.Add(1)
+	case EvJoinOrderChosen:
+		m.joinOrders.Add(1)
+	case EvJoinReoptimized:
+		m.joinReopts.Add(1)
+	case EvPlanCaptureRejected:
+		m.planCaptureRejs.Add(1)
+	}
+}
+
+// recordJoin folds one finished multi-table retrieval into the
+// registry: one join-query count plus a win for each stage's operator.
+func (m *Metrics) recordJoin(st *RetrievalStats) {
+	if m == nil {
+		return
+	}
+	m.joinQueries.Add(1)
+	for _, sg := range st.JoinStages {
+		if k, ok := joinOpIndex(sg.Operator); ok {
+			m.joinOpWins[k].Add(1)
+		}
 	}
 }
 
@@ -148,6 +175,14 @@ type MetricsSnapshot struct {
 	QueriesDeadlineExceeded int64 `json:"queries_deadline_exceeded"`
 	QueriesBudgetExceeded   int64 `json:"queries_budget_exceeded"`
 	AdmissionRejected       int64 `json:"admission_rejected"`
+
+	// Multi-table retrieval outcomes. All omitempty: single-table
+	// workloads (every paper experiment) serialize exactly as before.
+	JoinQueries         int64            `json:"join_queries,omitempty"`
+	JoinOrdersChosen    int64            `json:"join_orders_chosen,omitempty"`
+	JoinReoptimizations int64            `json:"join_reoptimizations,omitempty"`
+	JoinOperatorWins    map[string]int64 `json:"join_operator_wins,omitempty"`
+	PlanCaptureRejected int64            `json:"plan_capture_rejected,omitempty"`
 }
 
 // Snapshot copies the counters. Under concurrent load the copy is not a
@@ -167,6 +202,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		QueriesDeadlineExceeded: m.deadlineExceeded.Load(),
 		QueriesBudgetExceeded:   m.budgetExceeded.Load(),
 		AdmissionRejected:       m.admissionReject.Load(),
+	}
+	s.JoinQueries = m.joinQueries.Load()
+	s.JoinOrdersChosen = m.joinOrders.Load()
+	s.JoinReoptimizations = m.joinReopts.Load()
+	s.PlanCaptureRejected = m.planCaptureRejs.Load()
+	for k := range m.joinOpWins {
+		if n := m.joinOpWins[k].Load(); n > 0 {
+			if s.JoinOperatorWins == nil {
+				s.JoinOperatorWins = map[string]int64{}
+			}
+			s.JoinOperatorWins[joinOpName(k)] = n
+		}
 	}
 	for k := range m.tacticWins {
 		if n := m.tacticWins[k].Load(); n > 0 {

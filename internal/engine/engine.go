@@ -297,10 +297,24 @@ func (db *DB) PrepareContext(ctx context.Context, src string) (*Stmt, error) {
 }
 
 // CoreQuery returns a copy of the compiled core query (no bindings),
-// for plan inspection and direct core-level execution.
+// for plan inspection and direct core-level execution. Nil for
+// multi-table statements — use JoinQuery.
 func (s *Stmt) CoreQuery() *core.Query {
+	if s.compiled.Query == nil {
+		return nil
+	}
 	q := *s.compiled.Query
 	return &q
+}
+
+// JoinQuery returns a copy of the compiled multi-table query (no
+// bindings), or nil for single-table statements.
+func (s *Stmt) JoinQuery() *core.JoinQuery {
+	if s.compiled.Join == nil {
+		return nil
+	}
+	jq := *s.compiled.Join
+	return &jq
 }
 
 // Query runs the statement with the given bindings under the dynamic
@@ -324,6 +338,15 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 	release, err := s.db.admitQuery(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if s.compiled.Join != nil {
+		res, err := s.queryJoin(ctx, bb)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		res.release = release
+		return res, nil
 	}
 	q := *s.compiled.Query
 	q.Binds = bb
@@ -372,6 +395,101 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 	res.release = release
 	res.onDone = onDone
 	return res, nil
+}
+
+// queryJoin executes a multi-table statement through the dynamic join
+// path. Join plans are never frozen, so the plan cache is bypassed
+// entirely (the retrieval's own trace carries the capture rejection).
+func (s *Stmt) queryJoin(ctx context.Context, bb expr.Bindings) (*Result, error) {
+	jq := *s.compiled.Join
+	jq.Binds = bb
+	ec := core.NewExecCtx(ctx, 0)
+	if s.compiled.Explain {
+		return s.explainJoin(ec, &jq, s.compiled.Analyze)
+	}
+	rows := s.db.opt.RunJoin(ec, &jq)
+	res, err := newResult(s.db, s.compiled, rows)
+	if err != nil {
+		rows.Close()
+		return nil, err
+	}
+	return res, nil
+}
+
+// explainJoin describes the dynamic join run as (aspect, detail) rows:
+// the chosen order and operators, per-stage estimated-vs-actual
+// cardinality under ANALYZE, the competition events, and the static
+// optimizer's frozen join plan for contrast.
+func (s *Stmt) explainJoin(ec *core.ExecCtx, jq *core.JoinQuery, analyze bool) (*Result, error) {
+	var st core.RetrievalStats
+	var delivered int64
+	if analyze {
+		rows := s.db.opt.RunJoin(ec, jq)
+		for {
+			_, ok, err := rows.Next()
+			if err != nil {
+				rows.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			delivered++
+		}
+		st = rows.Stats()
+		if err := rows.Close(); err != nil {
+			return nil, err
+		}
+	} else {
+		plan, err := s.db.opt.PlanJoin(ec, jq)
+		if err != nil {
+			return nil, err
+		}
+		st.Tactic = "join"
+		st.Strategy = plan.Describe(jq)
+	}
+	out := [][2]string{
+		{"goal", jq.Goal.String()},
+		{"tactic", st.Tactic},
+		{"join plan", st.Strategy},
+	}
+	if analyze {
+		out = append(out,
+			[2]string{"rows", fmt.Sprintf("%d", delivered)},
+			[2]string{"attributed I/O", fmt.Sprintf("%d", st.IO.IOCost())},
+			[2]string{"estimation I/O", fmt.Sprintf("%d", st.EstimateIO)},
+		)
+		for i, sg := range st.JoinStages {
+			detail := fmt.Sprintf("%s est %.0f rows, actual %d, I/O %d", sg.Operator, sg.EstRows, sg.ActualRows, sg.IO)
+			if sg.Index != "" {
+				detail += " via " + sg.Index
+			}
+			if sg.Reoptimized {
+				detail += " [re-optimized]"
+			}
+			out = append(out, [2]string{fmt.Sprintf("stage %d:%s", i, sg.Table), detail})
+		}
+		for _, ev := range st.Events {
+			out = append(out, [2]string{"event:" + ev.Kind.String(), ev.String()})
+		}
+	}
+	var staticPlan string
+	if plan, err := planner.PrepareJoin(core.NewExecCtx(context.Background(), 0), jq); err == nil {
+		staticPlan = plan.String()
+	} else {
+		staticPlan = "error: " + err.Error()
+	}
+	out = append(out, [2]string{"static optimizer would freeze", staticPlan})
+	exp := make([]expr.Row, len(out))
+	for i, kv := range out {
+		exp[i] = expr.Row{expr.Str(kv[0]), expr.Str(kv[1])}
+	}
+	return &Result{
+		rows:    nil,
+		columns: []string{"aspect", "detail"},
+		explain: exp,
+		expStat: &st,
+	}, nil
 }
 
 // isCancellation reports whether err is an execution-context unwind
@@ -459,6 +577,9 @@ func (s *Stmt) Freeze(binds Binds) (*FrozenStmt, error) {
 	bb, err := binds.toBindings()
 	if err != nil {
 		return nil, err
+	}
+	if s.compiled.Join != nil {
+		return nil, fmt.Errorf("engine: multi-table statements cannot be frozen; use planner.PrepareJoin for the static baseline")
 	}
 	tab := s.compiled.Query.Table
 	unlock := tab.RLock()
@@ -613,6 +734,8 @@ func newResult(db *DB, c *sql.Compiled, rows core.Rows) (*Result, error) {
 		r.columns = []string{"COUNT(*)"}
 	case c.Agg != nil:
 		r.columns = []string{c.Agg.Kind + "(" + c.Agg.Col + ")"}
+	case c.Join != nil:
+		r.columns = c.JoinColumnNames()
 	case c.Query.Projection == nil:
 		tab := c.Query.Table
 		for _, col := range tab.Columns {

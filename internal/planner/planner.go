@@ -58,6 +58,41 @@ func (p *Plan) ExecuteExec(ec *core.ExecCtx, q *core.Query) core.Rows {
 	return core.RunFixedExec(ec, q, p.Strategy, core.DefaultConfig())
 }
 
+// JoinPlan is a frozen multi-table plan: the greedy join order and
+// per-stage operator choices made once before execution, System R
+// style, and never revised mid-flight. The dynamic join path starts
+// from the same plan but keeps re-optimizing; this is the baseline it
+// competes against.
+type JoinPlan struct {
+	jq  *core.JoinQuery
+	opt *core.Optimizer
+	// Plan is the frozen order and operator sequence.
+	Plan *core.JoinPlan
+}
+
+// PrepareJoin freezes a static plan for a multi-table retrieval using
+// uncorrected estimates (no feedback — the traditional optimizer
+// learns nothing between runs). The estimation I/O it spends descends
+// live B-trees, so call it with the same care as Prepare.
+func PrepareJoin(ec *core.ExecCtx, jq *core.JoinQuery) (*JoinPlan, error) {
+	opt := core.NewOptimizer(core.Config{})
+	plan, err := opt.PlanJoin(ec, jq)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinPlan{jq: jq, opt: opt, Plan: plan}, nil
+}
+
+func (p *JoinPlan) String() string {
+	return fmt.Sprintf("%s (est I/O %.0f)", p.Plan.Describe(p.jq), p.Plan.EstIO)
+}
+
+// ExecuteExec replays the frozen join plan for one set of bindings,
+// with mid-flight re-optimization disabled.
+func (p *JoinPlan) ExecuteExec(ec *core.ExecCtx, jq *core.JoinQuery) core.Rows {
+	return p.opt.RunJoinPlan(ec, jq, p.Plan)
+}
+
 // Prepare chooses a plan with compile-time default selectivities (host
 // variables unknown).
 func Prepare(q *core.Query) (*Plan, error) {

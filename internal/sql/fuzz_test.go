@@ -25,6 +25,13 @@ func FuzzParse(f *testing.F) {
 		"SELECT * FROM",
 		"((((",
 		"SELECT * FROM T WHERE A = 9223372036854775807",
+		"SELECT * FROM A JOIN B ON A.X = B.Y",
+		"SELECT A.X, B.Y FROM A JOIN B ON A.X = B.Y WHERE A.Z >= :P ORDER BY B.Y",
+		"SELECT * FROM A INNER JOIN B ON A.X = B.Y JOIN C ON B.Z = C.W",
+		"SELECT COUNT(*) FROM A, B WHERE A.X = B.Y AND A.K = 1",
+		"EXPLAIN ANALYZE SELECT * FROM A JOIN B ON A.X = B.Y LIMIT TO 3 ROWS",
+		"SELECT * FROM A JOIN B ON",
+		"SELECT * FROM A JOIN",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,5 +1,6 @@
 // Package sql implements the mini SQL dialect of the reproduction:
-// single-table SELECT with WHERE (AND/OR/NOT over comparisons, host
+// SELECT over one table or an inner-join of several (comma list or
+// [INNER] JOIN ... ON ...), WHERE (AND/OR/NOT over comparisons, host
 // parameters as :name), ORDER BY, LIMIT [TO n ROWS], COUNT(*), and the
 // paper's OPTIMIZE FOR FAST FIRST / TOTAL TIME clause.
 package sql
@@ -49,6 +50,7 @@ var keywords = map[string]bool{
 	"VALUES": true, "DELETE": true, "IN": true, "BETWEEN": true,
 	"UPDATE": true, "SET": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "DESC": true,
+	"JOIN": true, "ON": true, "INNER": true,
 }
 
 // SyntaxError reports a parse failure with its input position.
@@ -173,9 +175,20 @@ func lex(src string) ([]token, error) {
 			up := strings.ToUpper(word)
 			if keywords[up] {
 				toks = append(toks, token{tokKeyword, up, i})
-			} else {
-				toks = append(toks, token{tokIdent, word, i})
+				i = j
+				break
 			}
+			// Qualified column reference: TABLE.COLUMN lexes as one
+			// identifier token; the compiler splits on the dot.
+			if j+1 < len(src) && src[j] == '.' && isIdentStart(src[j+1]) {
+				k := j + 1
+				for k < len(src) && isIdentChar(src[k]) {
+					k++
+				}
+				word = src[i:k]
+				j = k
+			}
+			toks = append(toks, token{tokIdent, word, i})
 			i = j
 		default:
 			return nil, errf(i, "unexpected character %q", rune(c))

@@ -25,7 +25,11 @@ type SelectStmt struct {
 	// executed to completion and the description includes what actually
 	// happened (strategy, rows, attributed I/O) alongside the plan.
 	Analyze bool
+	// Table is the first (or only) FROM table, kept for the
+	// single-table paths; Tables lists every FROM table in syntactic
+	// order and always includes Table as its first element.
 	Table   string
+	Tables  []string
 	Where   Node // nil when absent
 	OrderBy []string
 	// OrderDesc requests descending order (applies to the whole ORDER
@@ -34,6 +38,9 @@ type SelectStmt struct {
 	Limit     int // 0 = none
 	// Optimize is the user's OPTIMIZE FOR request.
 	Optimize OptimizeGoal
+	// Src is the raw statement text as handed to Parse ("" for
+	// hand-constructed statements); ShapeKey memoizes through it.
+	Src string
 }
 
 // Aggregate is a single-column aggregate function in the select list.
@@ -123,6 +130,7 @@ func Parse(src string) (*SelectStmt, error) {
 	}
 	stmt.Explain = explain
 	stmt.Analyze = analyze
+	stmt.Src = src
 	if p.peek().kind != tokEOF {
 		return nil, errf(p.peek().pos, "unexpected %s after statement", p.peek())
 	}
@@ -218,6 +226,42 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		return nil, errf(tt.pos, "expected table name, got %s", tt)
 	}
 	stmt.Table = tt.text
+	stmt.Tables = []string{tt.text}
+	// Additional FROM tables: a comma list and/or [INNER] JOIN ... ON
+	// <pred>. ON predicates are ANDed into WHERE — the compiler pulls
+	// equi-join conjuncts back out, so the two spellings are one shape.
+	var onPreds []Node
+	for {
+		if p.peek().kind == tokComma {
+			p.next()
+			jt := p.next()
+			if jt.kind != tokIdent {
+				return nil, errf(jt.pos, "expected table name, got %s", jt)
+			}
+			stmt.Tables = append(stmt.Tables, jt.text)
+			continue
+		}
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		jt := p.next()
+		if jt.kind != tokIdent {
+			return nil, errf(jt.pos, "expected table name after JOIN, got %s", jt)
+		}
+		stmt.Tables = append(stmt.Tables, jt.text)
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		onPreds = append(onPreds, pred)
+	}
 
 	if p.acceptKeyword("WHERE") {
 		w, err := p.parseOr()
@@ -225,6 +269,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			return nil, err
 		}
 		stmt.Where = w
+	}
+	if len(onPreds) > 0 {
+		kids := make([]Node, 0, len(onPreds)+1)
+		kids = append(kids, onPreds...)
+		if stmt.Where != nil {
+			kids = append(kids, stmt.Where)
+		}
+		if len(kids) == 1 {
+			stmt.Where = kids[0]
+		} else {
+			stmt.Where = AndNode{Kids: kids}
+		}
 	}
 	if p.acceptKeyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {
