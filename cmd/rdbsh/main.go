@@ -60,8 +60,12 @@ func (s *interruptState) fire() bool {
 }
 
 func main() {
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = 4
+	cfg.AdaptiveParallelism = true
 	db := engine.Open(engine.Options{
 		PoolFrames:     1024,
+		Optimizer:      cfg,
 		EnableFeedback: true,
 		PlanCache:      engine.PlanCacheConfig{Enable: true},
 	})
@@ -362,6 +366,16 @@ func printMetrics(m core.MetricsSnapshot) {
 	}
 	if m.PlanCaptureRejected > 0 {
 		fmt.Printf("capture rejects:   %d\n", m.PlanCaptureRejected)
+	}
+	if len(m.ParallelWidths) > 0 {
+		fmt.Println("parallel widths chosen:")
+		for _, bucket := range []string{"1", "2", "4", "8", "16", "32", "64"} {
+			if n := m.ParallelWidths[bucket]; n > 0 {
+				fmt.Printf("  %-8s %d\n", bucket, n)
+			}
+		}
+		fmt.Printf("  early cancels:   %d\n", m.ParallelEarlyCancels)
+		fmt.Printf("  seq downgrades:  %d\n", m.ParallelSeqDowngrades)
 	}
 	if len(m.TacticWins) > 0 {
 		fmt.Println("tactic wins:")

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+
+	"rdbdyn/internal/core"
+)
+
+// Adaptive-width benchmarks.
+//
+// The adaptive policy (core.PlanParallelWidth) picks a scan's worker
+// width from its appraised I/O, the per-worker startup cost, and the
+// engine load, minimizing estIO/k + startup·(k-1). These benchmarks
+// replay the policy against the partitioned-scan fixtures and hold it
+// to its two promises: on large scans the chosen width's effective
+// speedup — critical-path I/O plus the startup charge for the workers
+// actually launched — must reach at least 0.9x the best static width's,
+// and on a small scan the policy must launch strictly fewer workers
+// than the static knob would (ideally none beyond the coordinator).
+// Both checks fail the benchmark run loudly, like the partitioning
+// invariant.
+
+// AdaptiveScanResult is the adaptive policy's showing on one large-scan
+// shape, against the best static width from the same measured series.
+type AdaptiveScanResult struct {
+	Name          string  `json:"name"`
+	SequentialIOs int64   `json:"sequential_ios"`
+	StartupCost   float64 `json:"startup_cost"`
+	// ChosenWidth is the policy's pick for this scan on an idle engine.
+	ChosenWidth           int     `json:"chosen_width"`
+	ChosenCriticalPathIOs int64   `json:"chosen_critical_path_ios"`
+	ChosenSpeedup         float64 `json:"chosen_speedup"`
+	BestStaticWidth       int     `json:"best_static_width"`
+	BestStaticSpeedup     float64 `json:"best_static_speedup"`
+	// RelativeToBestStatic is ChosenSpeedup / BestStaticSpeedup; the
+	// acceptance bar is >= 0.9.
+	RelativeToBestStatic float64 `json:"relative_to_best_static"`
+}
+
+// AdaptiveSmallScan records the policy keeping a few-page scan
+// sequential where the static knob fans out.
+type AdaptiveSmallScan struct {
+	SequentialIOs int64 `json:"sequential_ios"`
+	StaticWidth   int   `json:"static_width"`
+	// StaticWorkers is how many workers the static knob actually
+	// launches on this heap (clamped to its page count).
+	StaticWorkers int `json:"static_workers"`
+	// AdaptiveWidth must be strictly smaller than StaticWorkers.
+	AdaptiveWidth int `json:"adaptive_width"`
+}
+
+// adaptiveSmallRows sizes the small-scan fixture to a handful of heap
+// pages: enough for the static knob to split, small enough that the
+// policy's startup charge keeps it sequential.
+const adaptiveSmallRows = 350
+
+// AdaptiveScanBenchmarks replays the adaptive width policy over the
+// measured static series (both large-scan shapes) and the small-scan
+// fixture, enforcing both acceptance bars.
+func AdaptiveScanBenchmarks(static []ParallelScanSeries) ([]AdaptiveScanResult, *AdaptiveSmallScan, error) {
+	const startup = core.DefaultParallelStartupCost
+	measure := map[string]func(w int) ([]int64, error){
+		"PartitionedTscan": func(w int) ([]int64, error) { return measureHeapScan(pipeRows, w) },
+		"PartitionedJscan": measureIndexScan,
+	}
+	// Effective speedup: the startup charge for k-1 extra workers is
+	// real coordinator work, so it counts against the critical path.
+	eff := func(seq, critical int64, w int) float64 {
+		return float64(seq) / (float64(critical) + startup*float64(w-1))
+	}
+	var out []AdaptiveScanResult
+	for _, s := range static {
+		m := measure[s.Name]
+		if m == nil {
+			continue
+		}
+		maxW, bestW, bestEff := 1, 1, 0.0
+		for _, p := range s.Points {
+			if p.Workers > maxW {
+				maxW = p.Workers
+			}
+			if e := eff(s.SequentialIOs, p.CriticalPathIOs, p.Workers); e > bestEff {
+				bestW, bestEff = p.Workers, e
+			}
+		}
+		chosen := core.PlanParallelWidth(float64(s.SequentialIOs), maxW, 0, startup)
+		per, err := m(chosen)
+		if err != nil {
+			return nil, nil, err
+		}
+		var total, critical int64
+		for _, c := range per {
+			total += c
+			if c > critical {
+				critical = c
+			}
+		}
+		if total != s.SequentialIOs {
+			return nil, nil, fmt.Errorf("bench: %s at adaptive width %d charged %d total I/Os, sequential charged %d (partitioning invariant broken)",
+				s.Name, chosen, total, s.SequentialIOs)
+		}
+		chosenEff := eff(s.SequentialIOs, critical, chosen)
+		rel := chosenEff / bestEff
+		if rel < 0.9 {
+			return nil, nil, fmt.Errorf("bench: %s adaptive width %d reaches %.3fx effective speedup, %.2fx of the best static width %d (%.3fx); want >= 0.9x",
+				s.Name, chosen, chosenEff, rel, bestW, bestEff)
+		}
+		out = append(out, AdaptiveScanResult{
+			Name:                  s.Name,
+			SequentialIOs:         s.SequentialIOs,
+			StartupCost:           startup,
+			ChosenWidth:           chosen,
+			ChosenCriticalPathIOs: critical,
+			ChosenSpeedup:         chosenEff,
+			BestStaticWidth:       bestW,
+			BestStaticSpeedup:     bestEff,
+			RelativeToBestStatic:  rel,
+		})
+	}
+	small, err := adaptiveSmallScanBenchmark()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, small, nil
+}
+
+// adaptiveSmallScanBenchmark measures the few-page heap at width 1 for
+// the sequential baseline, counts the workers the static knob would
+// launch, and checks the policy stays below that.
+func adaptiveSmallScanBenchmark() (*AdaptiveSmallScan, error) {
+	counts := parallelWorkerCounts()
+	staticW := counts[len(counts)-1]
+	seqPer, err := measureHeapScan(adaptiveSmallRows, 1)
+	if err != nil {
+		return nil, err
+	}
+	var seq int64
+	for _, c := range seqPer {
+		seq += c
+	}
+	staticPer, err := measureHeapScan(adaptiveSmallRows, staticW)
+	if err != nil {
+		return nil, err
+	}
+	adaptiveW := core.PlanParallelWidth(float64(seq), staticW, 0, core.DefaultParallelStartupCost)
+	if adaptiveW >= len(staticPer) {
+		return nil, fmt.Errorf("bench: small scan (%d sequential I/Os): adaptive width %d not below the static knob's %d workers",
+			seq, adaptiveW, len(staticPer))
+	}
+	return &AdaptiveSmallScan{
+		SequentialIOs: seq,
+		StaticWidth:   staticW,
+		StaticWorkers: len(staticPer),
+		AdaptiveWidth: adaptiveW,
+	}, nil
+}

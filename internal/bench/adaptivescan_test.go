@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// The acceptance bars for the adaptive width policy, mirrored from
+// AdaptiveScanBenchmarks' own fail-loudly checks: on every large scan
+// the chosen width's effective speedup (startup charged) reaches at
+// least 0.9x the best static width's, and on the few-page scan the
+// policy stays sequential while the static knob fans out.
+
+func TestAdaptiveScanPolicy(t *testing.T) {
+	static, err := ParallelScanBenchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, small, err := AdaptiveScanBenchmarks(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adaptive) != len(static) {
+		t.Fatalf("adaptive covered %d of %d static series", len(adaptive), len(static))
+	}
+	for _, a := range adaptive {
+		if a.RelativeToBestStatic < 0.9 {
+			t.Fatalf("%s: adaptive width %d at %.2fx of best static width %d, want >= 0.9x",
+				a.Name, a.ChosenWidth, a.RelativeToBestStatic, a.BestStaticWidth)
+		}
+		if a.ChosenWidth < 2 {
+			t.Fatalf("%s: adaptive width %d on a large scan, want fan-out", a.Name, a.ChosenWidth)
+		}
+	}
+	if small == nil {
+		t.Fatal("no small-scan measurement")
+	}
+	if small.AdaptiveWidth != 1 {
+		t.Fatalf("small scan: adaptive width %d, want 1", small.AdaptiveWidth)
+	}
+	if small.AdaptiveWidth >= small.StaticWorkers {
+		t.Fatalf("small scan: adaptive width %d not below the static knob's %d workers",
+			small.AdaptiveWidth, small.StaticWorkers)
+	}
+}

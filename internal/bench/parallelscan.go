@@ -77,42 +77,53 @@ func ParallelScanBenchmarks() ([]ParallelScanSeries, error) {
 func benchParallelHeapScan() (*ParallelScanSeries, error) {
 	series := &ParallelScanSeries{Name: "PartitionedTscan"}
 	for _, w := range parallelWorkerCounts() {
-		f, err := newFinalFetchFixture()
+		per, err := measureHeapScan(pipeRows, w)
 		if err != nil {
 			return nil, err
-		}
-		// Cold start: loading the fixture left its pages resident, and a
-		// warm scan is all free hits. Every point begins from the same
-		// all-miss profile, so per-worker charges are page counts.
-		f.pool.EvictAll()
-		npages := f.tab.Heap.NumPages()
-		k := w
-		if k > npages {
-			k = npages
-		}
-		var per []int64
-		for i := 0; i < k; i++ {
-			start := storage.PageNo(i * npages / k)
-			end := storage.PageNo((i + 1) * npages / k)
-			tr := storage.NewTracker(nil)
-			cur := f.tab.Heap.RangeCursorTracked(start, end, tr)
-			for {
-				_, _, ok, err := cur.Next()
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					break
-				}
-			}
-			cur.Close()
-			per = append(per, tr.IOCost())
 		}
 		if err := series.addPoint(w, per); err != nil {
 			return nil, err
 		}
 	}
 	return series, nil
+}
+
+// measureHeapScan charges one partitioned heap scan of an nrows-row
+// fixture at width w and returns the per-worker attributed I/O. The
+// fixture is rebuilt and the pool evicted per call, so every
+// measurement starts from the same all-miss profile and per-worker
+// charges are page counts. Fewer than w workers run when the heap has
+// fewer pages — exactly the executor's clamp.
+func measureHeapScan(nrows, w int) ([]int64, error) {
+	f, err := newHeapFixtureN(nrows)
+	if err != nil {
+		return nil, err
+	}
+	f.pool.EvictAll()
+	npages := f.tab.Heap.NumPages()
+	k := w
+	if k > npages {
+		k = npages
+	}
+	var per []int64
+	for i := 0; i < k; i++ {
+		start := storage.PageNo(i * npages / k)
+		end := storage.PageNo((i + 1) * npages / k)
+		tr := storage.NewTracker(nil)
+		cur := f.tab.Heap.RangeCursorTracked(start, end, tr)
+		for {
+			_, _, ok, err := cur.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+		cur.Close()
+		per = append(per, tr.IOCost())
+	}
+	return per, nil
 }
 
 // benchParallelIndexScan partitions the index-scan fixture's full key
@@ -124,57 +135,72 @@ func benchParallelHeapScan() (*ParallelScanSeries, error) {
 func benchParallelIndexScan() (*ParallelScanSeries, error) {
 	series := &ParallelScanSeries{Name: "PartitionedJscan"}
 	for _, w := range parallelWorkerCounts() {
-		f, err := newIndexScanFixture()
+		per, err := measureIndexScan(w)
 		if err != nil {
 			return nil, err
 		}
-		f.pool.EvictAll() // cold start (see benchParallelHeapScan)
-		var per []int64
-		if w == 1 {
-			tr := storage.NewTracker(nil)
-			cur, err := f.tree.SeekTracked(nil, nil, tr)
-			if err != nil {
-				return nil, err
-			}
-			if err := drainEntries(cur, -1); err != nil {
-				return nil, err
-			}
-			per = []int64{tr.IOCost()}
-		} else {
-			parts, err := f.tree.PartitionRange(nil, nil, w)
-			if err != nil {
-				return nil, err
-			}
-			if parts == nil {
-				// Range too small to split at this width; skip the point.
-				continue
-			}
-			for i, p := range parts {
-				tr := storage.NewTracker(nil)
-				var cur *btree.Cursor
-				if i == 0 {
-					cur, err = f.tree.SeekTracked(nil, nil, tr)
-				} else {
-					cur, err = f.tree.SeekPartitionLeaf(p.Leaf, nil, tr)
-				}
-				if err != nil {
-					return nil, err
-				}
-				limit := p.Count
-				if i == len(parts)-1 {
-					limit = -1 // the last partition terminates on the range bound
-				}
-				if err := drainEntries(cur, limit); err != nil {
-					return nil, err
-				}
-				per = append(per, tr.IOCost())
-			}
+		if per == nil {
+			// Range too small to split at this width; skip the point.
+			continue
 		}
 		if err := series.addPoint(w, per); err != nil {
 			return nil, err
 		}
 	}
 	return series, nil
+}
+
+// measureIndexScan charges one leaf-aligned partitioned scan of the
+// index fixture's full key range at width w and returns the per-worker
+// attributed I/O (nil when the range cannot split to w partitions).
+// Worker 0 pays the root-to-leaf descent as the sequential scan does;
+// every other worker opens directly on its first leaf for one charge.
+func measureIndexScan(w int) ([]int64, error) {
+	f, err := newIndexScanFixture()
+	if err != nil {
+		return nil, err
+	}
+	f.pool.EvictAll() // cold start (see measureHeapScan)
+	if w == 1 {
+		tr := storage.NewTracker(nil)
+		cur, err := f.tree.SeekTracked(nil, nil, tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := drainEntries(cur, -1); err != nil {
+			return nil, err
+		}
+		return []int64{tr.IOCost()}, nil
+	}
+	parts, err := f.tree.PartitionRange(nil, nil, w)
+	if err != nil {
+		return nil, err
+	}
+	if parts == nil {
+		return nil, nil
+	}
+	var per []int64
+	for i, p := range parts {
+		tr := storage.NewTracker(nil)
+		var cur *btree.Cursor
+		if i == 0 {
+			cur, err = f.tree.SeekTracked(nil, nil, tr)
+		} else {
+			cur, err = f.tree.SeekPartitionLeaf(p.Leaf, nil, tr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		limit := p.Count
+		if i == len(parts)-1 {
+			limit = -1 // the last partition terminates on the range bound
+		}
+		if err := drainEntries(cur, limit); err != nil {
+			return nil, err
+		}
+		per = append(per, tr.IOCost())
+	}
+	return per, nil
 }
 
 // drainEntries consumes up to limit entries (-1 = to exhaustion) in

@@ -236,6 +236,24 @@ type Config struct {
 	// core count). Parallel execution preserves result rows, attributed
 	// I/O totals, and Metrics exactly; see DESIGN.md for the invariants.
 	Parallelism int
+	// AdaptiveParallelism lets the optimizer pick each scan's worker
+	// width itself — from the scan's appraised I/O estimate, the
+	// per-worker startup cost, and the engine's live load
+	// (ExecCtx.Load) — instead of always fanning out to the full
+	// Parallelism budget. Parallelism keeps its meaning as the ceiling;
+	// small or contended scans stay sequential, huge cold scans fan out
+	// up to the cap. Adaptive mode also unlocks the scan shapes that
+	// static widths leave sequential: Limit-capped partitioned Jscans
+	// with first-to-fill early cancellation, and partitioned join probe
+	// stages. Off by default — the paper's experiments and the static
+	// knob behave exactly as before.
+	AdaptiveParallelism bool
+	// ParallelStartupCost is the per-worker startup/merge overhead, in
+	// simulated page accesses, the adaptive policy charges against a
+	// candidate width (fan-out to k workers must save more than
+	// (k-1)·cost off the critical path to win). 0 = default
+	// (defaultParallelStartupCost); negative = free workers.
+	ParallelStartupCost float64
 }
 
 // maxParallelism caps the worker fan-out per scan; a backstop against

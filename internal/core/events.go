@@ -69,6 +69,17 @@ const (
 	// EvPlanCaptureRejected marks a retrieval whose outcome the plan
 	// cache refused to freeze (join plans are never frozen).
 	EvPlanCaptureRejected
+	// EvParallelWidthChosen records the adaptive parallelism policy
+	// picking a scan's worker width (only emitted under
+	// Config.AdaptiveParallelism): Width carries the decision,
+	// EstimatedIO the scan's appraised cost, and Detail the inputs —
+	// the ceiling, the live load, and the per-worker startup cost.
+	EvParallelWidthChosen
+	// EvParallelEarlyCancel marks a Limit-capped partitioned scan
+	// cancelling its sibling workers because the first workers to fill
+	// already collected enough candidates; ActualIO is the scan's
+	// attributed I/O at the barrier.
+	EvParallelEarlyCancel
 )
 
 func (k EventKind) String() string {
@@ -107,6 +118,10 @@ func (k EventKind) String() string {
 		return "join-reoptimized"
 	case EvPlanCaptureRejected:
 		return "plan-capture-rejected"
+	case EvParallelWidthChosen:
+		return "parallel-width-chosen"
+	case EvParallelEarlyCancel:
+		return "parallel-early-cancel"
 	default:
 		return "?"
 	}
@@ -135,6 +150,9 @@ type TraceEvent struct {
 	// ActualIO is the I/O already invested in the concerned scan (or
 	// stage) at decision time.
 	ActualIO float64
+	// Width is the worker width chosen for the scan (set only on
+	// EvParallelWidthChosen).
+	Width int
 	// Detail is free-form human context; never assert on it.
 	Detail string
 }
@@ -152,6 +170,9 @@ func (e TraceEvent) String() string {
 	}
 	if len(e.Indexes) > 0 {
 		fmt.Fprintf(&b, " %v", e.Indexes)
+	}
+	if e.Width > 0 {
+		fmt.Fprintf(&b, " width=%d", e.Width)
 	}
 	if e.Detail != "" {
 		b.WriteString(": ")

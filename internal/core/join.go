@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rdbdyn/internal/catalog"
 	"rdbdyn/internal/estimate"
 	"rdbdyn/internal/expr"
 	"rdbdyn/internal/rid"
@@ -192,6 +193,13 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 		for _, sg := range st.JoinStages {
 			o.cfg.Feedback.ObserveCardinality(sg.Table, sg.Index, sg.EstRows, float64(sg.ActualRows))
 		}
+		// Whole-join output feedback: the final output cardinality
+		// (after the residual, which per-stage estimates never see)
+		// against the last stage's estimate, under a synthetic key for
+		// the table set. planJoin folds the learned correction back
+		// into the next run's stage estimates.
+		last := stages[len(stages)-1]
+		o.cfg.Feedback.ObserveCardinality(joinFeedbackTable(jq), joinFeedbackIndex, last.EstRows, float64(len(cur)))
 	}
 	o.metrics.recordJoin(&st)
 	return &joinRows{jq: jq, rows: cur, st: st}, nil
@@ -525,9 +533,13 @@ func (je *joinExec) execProbe(sg *JoinStagePlan, preds []stagePred, outer []expr
 	if probe == -1 {
 		return nil, false, fmt.Errorf("core: no join predicate drives probe index %s.%s", tab.Name, sg.Index)
 	}
+	if handled, pout, fellBack, err := je.execProbeParallel(sg, preds, probe, ix, outer, filter, m); handled {
+		return pout, fellBack, err
+	}
 	local := je.jq.Local[t]
 	off := je.offs[t]
 	var out []expr.Row
+	var err error
 	for oi, orow := range outer {
 		// Mid-stage checkpoint: extrapolate the remaining probe cost
 		// from what probing has actually charged so far and compare to
@@ -539,45 +551,53 @@ func (je *joinExec) execProbe(sg *JoinStagePlan, preds []stagePred, outer []expr
 				return nil, true, nil
 			}
 		}
-		v := orow[preds[probe].outerPos]
-		if v.IsNull() {
-			continue
-		}
-		lo := expr.EncodeKey(nil, v)
-		hi := expr.KeySuccessor(lo)
-		cur, err := ix.Tree.SeekTracked(lo, hi, m.tr)
+		out, err = je.probeOne(out, orow, preds, probe, tab, ix, local, off, filter, m.tr)
 		if err != nil {
 			return nil, false, err
 		}
-		for {
-			_, r, ok, err := cur.Next()
-			if err != nil {
-				cur.Close()
-				return nil, false, err
-			}
-			if !ok {
-				break
-			}
-			if filter != nil && !filter.MayContain(r) {
-				continue
-			}
-			row, err := tab.FetchTracked(r, m.tr)
-			if err != nil {
-				cur.Close()
-				return nil, false, err
-			}
-			pass, err := expr.EvalPred(local, row, je.jq.Binds)
-			if err != nil {
-				cur.Close()
-				return nil, false, err
-			}
-			if pass && predsMatch(preds, orow, row) {
-				out = append(out, combineRows(orow, row, off))
-			}
-		}
-		cur.Close()
 	}
 	return out, false, nil
+}
+
+// probeOne probes the inner index for one outer row, appending matches
+// to out. All charged I/O goes to tr, so the partitioned probe path can
+// run probeOne on per-worker trackers while the sequential path passes
+// the stage meter's.
+func (je *joinExec) probeOne(out []expr.Row, orow expr.Row, preds []stagePred, probe int, tab *catalog.Table, ix *catalog.Index, local expr.Expr, off int, filter *rid.CompressedBitmap, tr *storage.Tracker) ([]expr.Row, error) {
+	v := orow[preds[probe].outerPos]
+	if v.IsNull() {
+		return out, nil
+	}
+	lo := expr.EncodeKey(nil, v)
+	hi := expr.KeySuccessor(lo)
+	cur, err := ix.Tree.SeekTracked(lo, hi, tr)
+	if err != nil {
+		return out, err
+	}
+	defer cur.Close()
+	for {
+		_, r, ok, err := cur.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if filter != nil && !filter.MayContain(r) {
+			continue
+		}
+		row, err := tab.FetchTracked(r, tr)
+		if err != nil {
+			return out, err
+		}
+		pass, err := expr.EvalPred(local, row, je.jq.Binds)
+		if err != nil {
+			return out, err
+		}
+		if pass && predsMatch(preds, orow, row) {
+			out = append(out, combineRows(orow, row, off))
+		}
+	}
 }
 
 // combineRows binds an inner row into a copy of the outer flat row at

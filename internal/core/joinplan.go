@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"rdbdyn/internal/catalog"
@@ -260,8 +261,38 @@ func (o *Optimizer) planJoin(jq *JoinQuery, infos []joinTableInfo, jts []estimat
 	}
 	plan := &JoinPlan{Stages: append([]JoinStagePlan{dsg},
 		o.planJoinRest(jq, infos, jts, []int{driver}, dsg.EstRows)...)}
+	// Whole-join output feedback: past runs over the same table set
+	// measured how far the final output cardinality missed the last
+	// stage's estimate. Interpolate the learned correction
+	// geometrically across the inner stages (full correction at the
+	// last stage, none at the driver) so intermediate estimates drift
+	// toward observed reality and the mid-flight divergence checks and
+	// re-plans start from better numbers. Neutral (factor 1) when no
+	// feedback registry is attached or nothing was learned.
+	if n := len(plan.Stages); n > 1 {
+		if corr := o.cfg.Feedback.CardCorrection(joinFeedbackTable(jq), joinFeedbackIndex); corr != 1 {
+			for i := 1; i < n; i++ {
+				plan.Stages[i].EstRows *= math.Pow(corr, float64(i)/float64(n-1))
+			}
+		}
+	}
 	for _, sg := range plan.Stages {
 		plan.EstIO += sg.EstIO
 	}
 	return plan
+}
+
+// joinFeedbackIndex is the synthetic index slot the whole-join output
+// observation lives under, distinguishing it from per-stage slots.
+const joinFeedbackIndex = "(output)"
+
+// joinFeedbackTable is the synthetic feedback key for a join's table
+// set: the declaration-order table names, so repeated joins of the
+// same FROM list share one correction regardless of chosen order.
+func joinFeedbackTable(jq *JoinQuery) string {
+	names := make([]string, len(jq.Tables))
+	for i, t := range jq.Tables {
+		names[i] = t.Name
+	}
+	return "join(" + strings.Join(names, ",") + ")"
 }

@@ -33,6 +33,7 @@ type jscan struct {
 	model estimate.CostModel
 	ests  []estimate.IndexEstimate
 	trc   *tracer
+	ec    *ExecCtx
 	m     meter
 
 	idx int // next index position to scan
@@ -114,6 +115,7 @@ func newJscan(ec *ExecCtx, q *Query, cfg Config, model estimate.CostModel, ests 
 		model:          model,
 		ests:           ests,
 		trc:            trc,
+		ec:             ec,
 		m:              newMeter(ec),
 		filter:         rid.TrueFilter{},
 		guaranteedBest: model.TscanCost(),

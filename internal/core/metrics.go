@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"rdbdyn/internal/storage"
@@ -50,6 +51,31 @@ type Metrics struct {
 	joinReopts      atomic.Int64
 	joinOpWins      [joinOpCount]atomic.Int64
 	planCaptureRejs atomic.Int64
+
+	// Adaptive-parallelism counters (only moved under
+	// Config.AdaptiveParallelism).
+	parWidths       [parWidthBuckets]atomic.Int64
+	parEarlyCancels atomic.Int64
+	parSeqDowngrade atomic.Int64
+}
+
+// parWidthBuckets is the size of the chosen-width histogram: widths
+// rounded up to the next power of two, 1 .. maxParallelism (64).
+const parWidthBuckets = 7
+
+var parWidthLabels = [parWidthBuckets]string{"1", "2", "4", "8", "16", "32", "64"}
+
+// parWidthBucket maps a chosen width to its power-of-two histogram
+// bucket (1 → 0, 2 → 1, 3..4 → 2, ..., 33..64 → 6).
+func parWidthBucket(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	b := bits.Len(uint(w - 1))
+	if b >= parWidthBuckets {
+		b = parWidthBuckets - 1
+	}
+	return b
 }
 
 // onEvent folds one emitted event into the decision counters.
@@ -71,6 +97,15 @@ func (m *Metrics) onEvent(ev TraceEvent) {
 		m.joinReopts.Add(1)
 	case EvPlanCaptureRejected:
 		m.planCaptureRejs.Add(1)
+	case EvParallelWidthChosen:
+		m.parWidths[parWidthBucket(ev.Width)].Add(1)
+		if ev.Width <= 1 {
+			// The policy was allowed to fan out (the event only fires
+			// with a ceiling >= 2) and chose sequential anyway.
+			m.parSeqDowngrade.Add(1)
+		}
+	case EvParallelEarlyCancel:
+		m.parEarlyCancels.Add(1)
 	}
 }
 
@@ -183,6 +218,12 @@ type MetricsSnapshot struct {
 	JoinReoptimizations int64            `json:"join_reoptimizations,omitempty"`
 	JoinOperatorWins    map[string]int64 `json:"join_operator_wins,omitempty"`
 	PlanCaptureRejected int64            `json:"plan_capture_rejected,omitempty"`
+
+	// Adaptive-parallelism outcomes. All omitempty: workloads that never
+	// enable Config.AdaptiveParallelism serialize exactly as before.
+	ParallelWidths        map[string]int64 `json:"parallel_widths,omitempty"`
+	ParallelEarlyCancels  int64            `json:"parallel_early_cancels,omitempty"`
+	ParallelSeqDowngrades int64            `json:"parallel_seq_downgrades,omitempty"`
 }
 
 // Snapshot copies the counters. Under concurrent load the copy is not a
@@ -213,6 +254,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 				s.JoinOperatorWins = map[string]int64{}
 			}
 			s.JoinOperatorWins[joinOpName(k)] = n
+		}
+	}
+	s.ParallelEarlyCancels = m.parEarlyCancels.Load()
+	s.ParallelSeqDowngrades = m.parSeqDowngrade.Load()
+	for b := range m.parWidths {
+		if n := m.parWidths[b].Load(); n > 0 {
+			if s.ParallelWidths == nil {
+				s.ParallelWidths = map[string]int64{}
+			}
+			s.ParallelWidths[parWidthLabels[b]] = n
 		}
 	}
 	for k := range m.tacticWins {

@@ -172,7 +172,7 @@ func (o *Optimizer) run(ec *ExecCtx, q *Query) (Rows, error) {
 			o.planUnion(ec, q, legs, r, model, goal)
 		} else {
 			r.tactic = tacticTscan
-			r.fg = newTscan(ec, q, r.out, o.cfg.effectiveWorkers())
+			r.fg = newTscan(ec, q, r.out, tscanWidth(o.cfg, ec, r.trc, q, model.TscanCost()))
 			r.trc.emit(TraceEvent{
 				Kind: EvTacticChosen, Tactic: r.tactic.String(), Scan: "Tscan",
 				EstimatedIO: model.TscanCost(), Detail: "no useful index",

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/rid"
+	"rdbdyn/internal/storage"
+)
+
+// TestAdaptiveWidthPolicy pins PlanParallelWidth's choices over an
+// estimate × load grid. The formula cost(k) = estIO/k + startup·(k-1)
+// has a closed-form minimizer k* ≈ sqrt(estIO/startup); these cases pin
+// the discrete scan's behaviour at the boundaries: the width-1 floor
+// for small scans (estIO <= 2·startup ties to sequential), the
+// square-root growth region, the load-shrunk ceiling, and the hard
+// maxParallelism clamp.
+func TestAdaptiveWidthPolicy(t *testing.T) {
+	cases := []struct {
+		name    string
+		estIO   float64
+		max     int
+		load    float64
+		startup float64
+		want    int
+	}{
+		{"zero estimate stays sequential", 0, 64, 0, 2, 1},
+		{"tie resolves to smaller width", 4, 64, 0, 2, 1}, // cost(2) == cost(1)
+		{"just past the tie fans to 2", 5, 64, 0, 2, 2},
+		{"sqrt region: estIO 32 -> 4", 32, 64, 0, 2, 4},
+		{"sqrt region: estIO 128 -> 8", 128, 64, 0, 2, 8},
+		{"sqrt region: estIO 2048 -> 32", 2048, 64, 0, 2, 32},
+		{"huge scan hits the ceiling", 1e9, 64, 0, 2, 64},
+		{"ceiling clamps to maxParallelism", 1e9, 1000, 0, 2, maxParallelism},
+		{"half load halves the ceiling", 1e9, 64, 0.5, 2, 32},
+		{"three-quarter load", 1e9, 64, 0.75, 2, 16},
+		{"saturated engine stays sequential", 1e9, 64, 1, 2, 1},
+		{"load over 1 clamps", 1e9, 64, 2.5, 2, 1},
+		{"free workers take the whole budget", 10, 4, 0, 0, 4},
+		{"negative startup means free", 10, 4, 0, -3, 4},
+		{"small scan under load", 5, 64, 0.9, 2, 2}, // ceiling 6, k*=~1.6 -> 2
+		{"max 1 has no decision", 1e9, 1, 0, 2, 1},
+	}
+	for _, c := range cases {
+		if got := PlanParallelWidth(c.estIO, c.max, c.load, c.startup); got != c.want {
+			t.Errorf("%s: PlanParallelWidth(%g, %d, %g, %g) = %d, want %d",
+				c.name, c.estIO, c.max, c.load, c.startup, got, c.want)
+		}
+	}
+}
+
+// notTrueFilter is an installed (post-first-scan) filter stand-in: any
+// concrete type other than rid.TrueFilter defeats the exact-count cap.
+type notTrueFilter struct{}
+
+func (notTrueFilter) MayContain(storage.RID) bool { return true }
+func (notTrueFilter) Exact() bool                 { return true }
+
+// TestJscanPartitionGate asserts exactly which scan shapes the
+// partitioned Jscan accepts, exercising every partitionDisqualifier
+// reason individually (the gate's code comments reference this test by
+// name). Each case perturbs one field of an otherwise-eligible scan
+// state and checks both the reported reason and the exact-count cap.
+func TestJscanPartitionGate(t *testing.T) {
+	f := newFixture(t, 500, "AGE", "CITY")
+	age, city := f.col(t, "AGE"), f.col(t, "CITY")
+	ixAge := f.tab.Indexes[0]
+	onAge := expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(30)))
+	onCity := expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(7)))
+
+	// eligible builds the baseline partition-eligible scan state: a
+	// fresh (partitionable, nothing seen) scan of the last index under
+	// disabled competition with no borrow stream and no limit.
+	eligible := func() *jscan {
+		cfg := DefaultConfig()
+		cfg.Parallelism = 4
+		cfg.DisableCompetition = true
+		return &jscan{
+			q:             &Query{Table: f.tab, Restriction: onAge},
+			cfg:           cfg,
+			curIx:         ixAge,
+			filter:        rid.TrueFilter{},
+			partitionable: true,
+		}
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(j *jscan)
+		want    string // "" = eligible
+		wantCap int
+	}{
+		{"fresh full-range scan", func(j *jscan) {}, "", 0},
+		{"continued race loser", func(j *jscan) { j.partitionable = false }, "continued scan", 0},
+		{"mid-scan entry", func(j *jscan) { j.seen = 7 }, "rows already seen", 0},
+		{"competition enabled", func(j *jscan) { j.cfg.DisableCompetition = false }, "competition enabled", 0},
+		{"borrow queue attached", func(j *jscan) { j.borrow = &ridQueue{} }, "borrow queue attached", 0},
+		{"limit without adaptive mode", func(j *jscan) { j.q.Limit = 5 }, "limit without exact-count cap", 0},
+		{"limit with exact-count cap", func(j *jscan) {
+			j.q.Limit = 5
+			j.cfg.AdaptiveParallelism = true
+		}, "", 5},
+		{"limit with order by", func(j *jscan) {
+			j.q.Limit = 5
+			j.cfg.AdaptiveParallelism = true
+			j.q.OrderBy = []int{age}
+		}, "limit without exact-count cap", 0},
+		{"limit before the last index", func(j *jscan) {
+			j.q.Limit = 5
+			j.cfg.AdaptiveParallelism = true
+			j.ests = make([]estimate.IndexEstimate, 1) // idx 0 < len 1: a later scan would intersect below the cap
+		}, "limit without exact-count cap", 0},
+		{"limit with installed filter", func(j *jscan) {
+			j.q.Limit = 5
+			j.cfg.AdaptiveParallelism = true
+			j.filter = notTrueFilter{}
+		}, "limit without exact-count cap", 0},
+		{"limit with non-covering index", func(j *jscan) {
+			j.q.Limit = 5
+			j.cfg.AdaptiveParallelism = true
+			j.q.Restriction = expr.NewAnd(onAge, onCity) // IX_AGE cannot prove CITY
+		}, "limit without exact-count cap", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j := eligible()
+			c.mutate(j)
+			if got := j.partitionDisqualifier(); got != c.want {
+				t.Fatalf("partitionDisqualifier() = %q, want %q", got, c.want)
+			}
+			if got := j.partitionLimitCap(); got != c.wantCap {
+				t.Fatalf("partitionLimitCap() = %d, want %d", got, c.wantCap)
+			}
+		})
+	}
+}
+
+// TestAdaptiveEquivalenceAllTactics extends the deterministic-
+// equivalence sweep to the adaptive policy: for every tactic shape,
+// widths {1, 2, 4} and adaptive mode must deliver identical rows in
+// identical order with identical attributed I/O and identical
+// pre-existing metrics. Adaptive runs additionally populate the width
+// histogram (its decisions are observable), so those counters are
+// compared separately rather than zero-asserted away.
+func TestAdaptiveEquivalenceAllTactics(t *testing.T) {
+	f := newFixture(t, 10000, "AGE", "CITY")
+	age, city, salary := f.col(t, "AGE"), f.col(t, "CITY"), f.col(t, "SALARY")
+
+	queries := []struct {
+		name string
+		q    *Query
+	}{
+		{"tscan", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.GE, expr.Col(salary, "SALARY"), expr.Lit(expr.Float(5000))),
+		}},
+		{"background-only", bgQuery(f, t, GoalTotalTime)},
+		{"fast-first", bgQuery(f, t, GoalFastFirst)},
+		{"union", &Query{
+			Table: f.tab,
+			Restriction: expr.NewOr(
+				expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(5))),
+				expr.NewCmp(expr.EQ, expr.Col(city, "CITY"), expr.Lit(expr.Int(7))),
+			),
+		}},
+		{"ordered-index", &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.LT, expr.Col(age, "AGE"), expr.Lit(expr.Int(25))),
+			OrderBy:     []int{age},
+		}},
+	}
+
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runEquiv(t, f, tc.q, 0, false)
+			if len(base.rows) == 0 {
+				t.Fatalf("degenerate fixture: %s query delivered no rows", tc.name)
+			}
+			for _, w := range []int{1, 2, 4} {
+				par := runEquiv(t, f, tc.q, w, false)
+				requireEquiv(t, "static width", w, par, base)
+			}
+			ad := runEquiv(t, f, tc.q, 4, true)
+			requireEquiv(t, "adaptive", 4, ad, base)
+		})
+	}
+}
+
+// requireEquiv asserts the deterministic-equivalence contract between a
+// parallel run and the sequential baseline. Adaptive width decisions
+// feed counters that have no sequential counterpart, so those fields
+// are compared against the run's own event stream instead of the
+// baseline before the snapshots are diffed.
+func requireEquiv(t *testing.T, label string, w int, par, base equivRun) {
+	t.Helper()
+	if par.tactic != base.tactic || par.strategy != base.strategy {
+		t.Fatalf("%s w=%d: tactic/strategy %s/%s, sequential %s/%s",
+			label, w, par.tactic, par.strategy, base.tactic, base.strategy)
+	}
+	if len(par.rows) != len(base.rows) {
+		t.Fatalf("%s w=%d: %d rows vs %d", label, w, len(par.rows), len(base.rows))
+	}
+	for i := range par.rows {
+		if par.rows[i] != base.rows[i] {
+			t.Fatalf("%s w=%d: row order diverged at %d", label, w, i)
+		}
+	}
+	if par.io != base.io {
+		t.Fatalf("%s w=%d: attributed I/O %+v, sequential %+v", label, w, par.io, base.io)
+	}
+	if par.estimate != base.estimate {
+		t.Fatalf("%s w=%d: estimation I/O %d, sequential %d", label, w, par.estimate, base.estimate)
+	}
+	if par.fgRows != base.fgRows || par.finalLen != base.finalLen {
+		t.Fatalf("%s w=%d: fg=%d final=%d, sequential fg=%d final=%d",
+			label, w, par.fgRows, par.finalLen, base.fgRows, base.finalLen)
+	}
+	// Width decisions are the only permitted metrics delta: the
+	// histogram must account for exactly the width-chosen events the run
+	// emitted, and nothing else may move.
+	var chosen int64
+	for _, n := range par.snap.ParallelWidths {
+		chosen += n
+	}
+	if want := int64(par.widthEvents); chosen != want {
+		t.Fatalf("%s w=%d: width histogram counts %d decisions, trace has %d", label, w, chosen, want)
+	}
+	scrub := func(s MetricsSnapshot) MetricsSnapshot {
+		s.ParallelWidths = nil
+		s.ParallelSeqDowngrades = 0
+		s.ParallelEarlyCancels = 0
+		return s
+	}
+	ps, bs := scrub(par.snap), scrub(base.snap)
+	if !reflect.DeepEqual(ps, bs) {
+		t.Fatalf("%s w=%d: metrics delta diverged:\n par %+v\n seq %+v", label, w, ps, bs)
+	}
+}
+
+// TestAdaptiveDowngradesSmallScan pins the policy's sequential-downgrade
+// half: a scan far smaller than the per-worker startup cost must choose
+// width 1 — recorded in the histogram and the downgrade counter — and
+// spawn no partition workers.
+func TestAdaptiveDowngradesSmallScan(t *testing.T) {
+	f := newFixture(t, 300) // a few pages: estIO ~ startup
+	age := f.col(t, "AGE")
+	q := &Query{
+		Table:       f.tab,
+		Restriction: expr.NewCmp(expr.GE, expr.Col(age, "AGE"), expr.Lit(expr.Int(0))),
+	}
+	cfg := DefaultConfig()
+	cfg.Parallelism = 8
+	cfg.AdaptiveParallelism = true
+	cfg.ParallelStartupCost = 1e6 // dwarf any scan: every decision downgrades
+	o := NewOptimizer(cfg)
+	rows := o.Run(q)
+	got := drain(t, rows)
+	sameMultiset(t, got, f.naive(t, q), "downgraded tscan")
+	st := rows.Stats()
+	ev := firstEvent(st, EvParallelWidthChosen, "")
+	if ev == nil {
+		t.Fatalf("no width decision in trace: %v", st.Trace)
+	}
+	if ev.Width != 1 {
+		t.Fatalf("width = %d, want 1 (startup dominates)", ev.Width)
+	}
+	snap := o.Metrics().Snapshot()
+	if snap.ParallelSeqDowngrades == 0 {
+		t.Fatal("sequential downgrade not counted")
+	}
+	if snap.ParallelWidths["1"] == 0 {
+		t.Fatalf("width histogram missing bucket 1: %v", snap.ParallelWidths)
+	}
+}
+
+// TestJscanLimitEarlyCancel drives the adaptive exact-count cap end to
+// end: a bare-LIMIT query over a covering index partitions anyway, the
+// first workers to fill the cap cancel their siblings (one
+// parallel-early-cancel event), every delivered row satisfies the
+// restriction, and the capped parallel scan charges no more than the
+// sequential full-range scan plus one in-flight access per worker.
+func TestJscanLimitEarlyCancel(t *testing.T) {
+	f := newFixture(t, 10000, "ID")
+	id := f.col(t, "ID")
+	// Half the unique IDs match: a clustered RID list cheap enough that
+	// the planner keeps the Jscan, spread over enough leaves that the
+	// range partitions and the uncapped scan does real extra work.
+	mk := func() *Query {
+		return &Query{
+			Table:       f.tab,
+			Restriction: expr.NewCmp(expr.GE, expr.Col(id, "ID"), expr.Lit(expr.Int(5000))),
+			Limit:       10,
+			Goal:        GoalTotalTime,
+		}
+	}
+	const workers = 4
+	run := func(adaptive bool) (int, []expr.Row, RetrievalStats) {
+		cfg := DefaultConfig()
+		cfg.Parallelism = workers
+		cfg.DisableCompetition = true
+		if adaptive {
+			cfg.AdaptiveParallelism = true
+			cfg.ParallelStartupCost = -1 // free workers: the cap, not the policy, is under test
+		}
+		o := NewOptimizer(cfg)
+		f.pool.EvictAll()
+		f.pool.ResetStats()
+		rows := o.Run(mk())
+		got := drain(t, rows)
+		return int(f.pool.Stats().IOCost()), got, rows.Stats()
+	}
+
+	seqIO, seqRows, seqSt := run(false)
+	parIO, parRows, parSt := run(true)
+
+	if parSt.Tactic != seqSt.Tactic {
+		t.Fatalf("tactic diverged: %s vs %s", parSt.Tactic, seqSt.Tactic)
+	}
+	if len(parRows) != 10 || len(seqRows) != 10 {
+		t.Fatalf("limit 10 delivered %d adaptive, %d sequential", len(parRows), len(seqRows))
+	}
+	// Under a bare LIMIT any 10 matching rows are a correct answer; each
+	// delivered row must still satisfy the restriction.
+	for _, r := range parRows {
+		if r[id].I < 5000 {
+			t.Fatalf("row %v fails restriction", r)
+		}
+	}
+	if !hasEvent(parSt, EvParallelEarlyCancel, "") {
+		t.Fatalf("no parallel-early-cancel event; trace: %v", parSt.Trace)
+	}
+	if hasEvent(seqSt, EvParallelEarlyCancel, "") {
+		t.Fatal("sequential run must not early-cancel")
+	}
+	// The capped scan stops at ~LIMIT candidates while the sequential
+	// background scans its whole range; overshoot past the sequential
+	// cost is bounded by the workers' in-flight accesses.
+	if parIO >= seqIO+workers {
+		t.Fatalf("adaptive capped scan cost %d, sequential %d: cap saved nothing", parIO, seqIO)
+	}
+}

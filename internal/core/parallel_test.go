@@ -23,17 +23,22 @@ type equivRun struct {
 	fgRows   int
 	finalLen int
 	snap     MetricsSnapshot
+	// widthEvents counts the run's parallel-width-chosen trace events
+	// (adaptive runs only; always 0 under a static width).
+	widthEvents int
 }
 
 // runEquiv executes q on a fresh optimizer (own metrics) at the given
-// parallelism, against a cold pool, with racing off (race outcomes are
+// parallelism — statically, or through the adaptive width policy —
+// against a cold pool, with racing off (race outcomes are
 // scheduling-dependent by design) and competition off (the partitioned
 // Jscan path requires it, and abandonment timing is step-cadence
 // shaped). Determinism everywhere else is the claim under test.
-func runEquiv(t *testing.T, f *fixture, q *Query, parallelism int) equivRun {
+func runEquiv(t *testing.T, f *fixture, q *Query, parallelism int, adaptive bool) equivRun {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Parallelism = parallelism
+	cfg.AdaptiveParallelism = adaptive
 	cfg.RaceFactor = -1
 	cfg.DisableCompetition = true
 	o := NewOptimizer(cfg)
@@ -48,15 +53,22 @@ func runEquiv(t *testing.T, f *fixture, q *Query, parallelism int) equivRun {
 	for i, r := range got {
 		keys[i] = rowKey(r)
 	}
+	widths := 0
+	for _, ev := range st.Events {
+		if ev.Kind == EvParallelWidthChosen {
+			widths++
+		}
+	}
 	return equivRun{
-		rows:     keys,
-		tactic:   st.Tactic,
-		strategy: st.Strategy,
-		io:       st.IO,
-		estimate: st.EstimateIO,
-		fgRows:   st.FgRows,
-		finalLen: st.FinalListLen,
-		snap:     o.Metrics().Snapshot(),
+		rows:        keys,
+		tactic:      st.Tactic,
+		strategy:    st.Strategy,
+		io:          st.IO,
+		estimate:    st.EstimateIO,
+		fgRows:      st.FgRows,
+		finalLen:    st.FinalListLen,
+		snap:        o.Metrics().Snapshot(),
+		widthEvents: widths,
 	}
 }
 
@@ -108,12 +120,12 @@ func TestParallelEquivalenceAllTactics(t *testing.T) {
 
 	for _, tc := range queries {
 		t.Run(tc.name, func(t *testing.T) {
-			base := runEquiv(t, f, tc.q, 0)
+			base := runEquiv(t, f, tc.q, 0, false)
 			if len(base.rows) == 0 {
 				t.Fatalf("degenerate fixture: %s query delivered no rows", tc.name)
 			}
 			for _, w := range widths {
-				par := runEquiv(t, f, tc.q, w)
+				par := runEquiv(t, f, tc.q, w, false)
 				if par.tactic != base.tactic || par.strategy != base.strategy {
 					t.Fatalf("w=%d: tactic/strategy %s/%s, sequential %s/%s",
 						w, par.tactic, par.strategy, base.tactic, base.strategy)

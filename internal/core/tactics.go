@@ -345,7 +345,7 @@ func (r *retrieval) onBgDone() error {
 				Indexes: r.bg.bgNames(), EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 				Detail: "background recommends Tscan, switching",
 			})
-			r.replaceFg(newTscan(r.ec, r.q, r.out, r.cfg.effectiveWorkers()))
+			r.replaceFg(newTscan(r.ec, r.q, r.out, tscanWidth(r.cfg, r.ec, r.trc, r.q, r.model.TscanCost())))
 			return nil
 		}
 		return r.enterFinal(nil)
@@ -386,7 +386,7 @@ func (r *retrieval) bgResolveFastFirst() error {
 			EstimatedIO: r.model.TscanCost(), ActualIO: r.bg.cost(),
 			Detail: "background recommends Tscan for the remainder",
 		})
-		ts := newTscan(r.ec, r.q, r.out, r.cfg.effectiveWorkers())
+		ts := newTscan(r.ec, r.q, r.out, tscanWidth(r.cfg, r.ec, r.trc, r.q, r.model.TscanCost()))
 		if len(delivered) > 0 {
 			ts.exclude = rid.FromRIDs(delivered)
 		}
@@ -484,7 +484,17 @@ func (r *retrieval) control() error {
 
 // enterFinal switches the retrieval into its final stage.
 func (r *retrieval) enterFinal(delivered []storage.RID) error {
-	fin, err := newFinalStage(r.ec, r.q, r.bg.bgComplete(), delivered, r.out, r.cfg.effectiveWorkers())
+	width := r.cfg.effectiveWorkers()
+	if r.q.Limit == 0 {
+		// Only the uncapped final stage partitions; its appraised cost
+		// is the fetch of the completed RID list.
+		var finEst float64
+		if c := r.bg.bgComplete(); c != nil {
+			finEst = r.model.JscanFinalCost(float64(c.Len()))
+		}
+		width = decideWidth(r.cfg, r.ec, r.trc, "Fin", finEst)
+	}
+	fin, err := newFinalStage(r.ec, r.q, r.bg.bgComplete(), delivered, r.out, width)
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ type uscan struct {
 	model estimate.CostModel
 	legs  []unionLeg
 	trc   *tracer
+	ec    *ExecCtx
 	m     meter
 
 	idx      int // current leg
@@ -149,6 +150,7 @@ func newUscan(ec *ExecCtx, q *Query, cfg Config, model estimate.CostModel, legs 
 		model:        model,
 		legs:         legs,
 		trc:          trc,
+		ec:           ec,
 		m:            m,
 		list:         rid.NewContainerTracked(q.Table.Pool(), cfg.RID, m.tr),
 		borrow:       borrow,
@@ -205,6 +207,9 @@ func (u *uscan) borrowStreamComplete() bool {
 func (u *uscan) step() (bool, error) {
 	if u.done {
 		return true, nil
+	}
+	if handled, err := u.maybeParallelLegs(); handled || err != nil {
+		return u.done, err
 	}
 	if u.cur == nil {
 		if u.idx >= len(u.legs) {

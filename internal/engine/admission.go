@@ -26,6 +26,7 @@ var (
 // immediately, so unconfigured databases behave exactly as before.
 type admission struct {
 	slots    chan struct{} // buffered; one token per in-flight query
+	max      int           // cap(slots), kept for saturation arithmetic
 	queueCap int
 	timeout  time.Duration
 	waiting  atomic.Int64
@@ -38,6 +39,7 @@ func newAdmission(maxInFlight, queueDepth int, timeout time.Duration) *admission
 	}
 	return &admission{
 		slots:    make(chan struct{}, maxInFlight),
+		max:      maxInFlight,
 		queueCap: queueDepth,
 		timeout:  timeout,
 	}
@@ -106,4 +108,26 @@ func (a *admission) InFlight() int64 {
 		return 0
 	}
 	return a.inFlight.Load()
+}
+
+// Saturation reports the fraction of execution slots held by queries
+// other than the caller, in [0, 1]. The caller is assumed to hold a
+// slot itself (it is called from inside an admitted query), so a lone
+// query on an idle engine reads 0 — its adaptive fan-out is not
+// penalized by its own admission. A nil *admission (admission control
+// off) always reads 0: without a configured ceiling there is no
+// saturation to measure.
+func (a *admission) Saturation() float64 {
+	if a == nil || a.max < 1 {
+		return 0
+	}
+	others := a.inFlight.Load() - 1
+	if others < 0 {
+		others = 0
+	}
+	f := float64(others) / float64(a.max)
+	if f > 1 {
+		f = 1
+	}
+	return f
 }

@@ -144,6 +144,19 @@ func (db *DB) admitQuery(ctx context.Context) (func(), error) {
 	return release, nil
 }
 
+// execCtx builds the per-query execution context: the caller's ctx
+// plus, under adaptive parallelism, the engine's live load signal
+// (admission-slot saturation by other queries). Non-adaptive sessions
+// get the plain context so their execution state is bit-identical to
+// builds without the load plumbing.
+func (db *DB) execCtx(ctx context.Context) *core.ExecCtx {
+	ec := core.NewExecCtx(ctx, 0)
+	if db.opt.Config().AdaptiveParallelism {
+		ec = ec.WithLoad(db.admit.Saturation)
+	}
+	return ec
+}
+
 // Catalog exposes the schema registry.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
@@ -350,7 +363,7 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 	}
 	q := *s.compiled.Query
 	q.Binds = bb
-	ec := core.NewExecCtx(ctx, 0)
+	ec := s.db.execCtx(ctx)
 	if s.compiled.Explain {
 		res, err := s.explain(ec, &q, s.compiled.Analyze)
 		if err != nil {
@@ -403,7 +416,7 @@ func (s *Stmt) QueryContext(ctx context.Context, binds Binds) (*Result, error) {
 func (s *Stmt) queryJoin(ctx context.Context, bb expr.Bindings) (*Result, error) {
 	jq := *s.compiled.Join
 	jq.Binds = bb
-	ec := core.NewExecCtx(ctx, 0)
+	ec := s.db.execCtx(ctx)
 	if s.compiled.Explain {
 		return s.explainJoin(ec, &jq, s.compiled.Analyze)
 	}
