@@ -355,9 +355,12 @@ func printMetrics(m core.MetricsSnapshot) {
 	if m.JoinQueries > 0 {
 		fmt.Printf("join queries:      %d (orders chosen: %d, re-optimizations: %d)\n",
 			m.JoinQueries, m.JoinOrdersChosen, m.JoinReoptimizations)
+		if m.JoinSortsAvoided > 0 {
+			fmt.Printf("join sorts avoided: %d\n", m.JoinSortsAvoided)
+		}
 		if len(m.JoinOperatorWins) > 0 {
 			fmt.Println("join operator wins:")
-			for _, op := range []string{"nl", "inl", "ridx"} {
+			for _, op := range []string{"nl", "inl", "ridx", "hj"} {
 				if n := m.JoinOperatorWins[op]; n > 0 {
 					fmt.Printf("  %-16s %d\n", op, n)
 				}

@@ -3,7 +3,8 @@
 // the classic 10% guess — but SEG = 0 really covers 60% of the table.
 // The greedy plan sizes an index-nested-loop probe for ~20 outer rows,
 // meets ~120 at the first stage boundary, re-plans the remaining
-// stages mid-flight, and finishes on the cheaper nested-loop scan.
+// stages mid-flight, and finishes on a hash join: the build scan costs
+// what a nested loop's would, but the probe phase is linear.
 package main
 
 import (

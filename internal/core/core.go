@@ -227,6 +227,12 @@ type Config struct {
 	// the default (4); a negative value disables re-optimization, so a
 	// chosen join plan runs statically to completion.
 	JoinReoptFactor float64
+	// DisableJoinSortAvoidance turns off sort-order-aware join
+	// planning: ORDER BY joins always pay the final materialized sort,
+	// and no order-preserving alternative plan competes. For ablation
+	// and sorted-baseline comparisons; off (avoidance active) by
+	// default.
+	DisableJoinSortAvoidance bool
 	// Parallelism is the intra-query worker budget for partitioned
 	// scans and goroutine race legs. 0 or 1 keeps the paper-faithful
 	// single-goroutine cooperative scheduler (the default — all
@@ -365,18 +371,30 @@ type RetrievalStats struct {
 	// retrieval in execution order (empty for single-table retrievals).
 	// The Tactic of a join retrieval is "join".
 	JoinStages []JoinStageStats
+	// SortAvoided marks an ORDER BY join delivered in plan order: the
+	// surviving stage order satisfied the requested order, so the final
+	// materialized sort was skipped.
+	SortAvoided bool
 }
 
 // JoinStageStats is the est-vs-actual record of one executed join
 // stage (the driver scan is stage 0 with an empty Operator-specific
 // fields where they do not apply).
 type JoinStageStats struct {
-	// Table is the table this stage brought into the join.
+	// Table is the display name of the table this stage brought into
+	// the join: its FROM alias when one was declared, else the catalog
+	// name.
 	Table string
+	// TableIdx is the table's position in JoinQuery.Tables. Feedback
+	// observations key on the catalog name through it, so self-joined
+	// aliases of one table share one learned correction.
+	TableIdx int
 	// Operator names the stage's execution strategy: the driver's
 	// single-table tactic for stage 0, else "nl", "inl", or "ridx".
 	Operator string
-	// Index is the inner probe index ("" for nl and the driver stage).
+	// Index is the inner probe index for inl/ridx, the build-side
+	// restriction index for an index-assisted hj build, or the driver's
+	// scan index ("" for nl, heap-build hj, and tscan drivers).
 	Index string
 	// EstRows is the stage's estimated output cardinality at the time
 	// it started; ActualRows is what it produced.

@@ -80,6 +80,10 @@ const (
 	// already collected enough candidates; ActualIO is the scan's
 	// attributed I/O at the barrier.
 	EvParallelEarlyCancel
+	// EvJoinSortAvoided marks an ORDER BY join skipping its final
+	// materialized sort because the surviving stage order already
+	// satisfied the requested order.
+	EvJoinSortAvoided
 )
 
 func (k EventKind) String() string {
@@ -122,6 +126,8 @@ func (k EventKind) String() string {
 		return "parallel-width-chosen"
 	case EvParallelEarlyCancel:
 		return "parallel-early-cancel"
+	case EvJoinSortAvoided:
+		return "join-sort-avoided"
 	default:
 		return "?"
 	}

@@ -65,6 +65,15 @@ func (p *CachedPlan) Fingerprint() string { return p.String() }
 // merely *skipped* before starting cost nothing and do not block
 // capture.
 func CapturePlan(st *RetrievalStats) (*CachedPlan, bool) {
+	// hj stages are refused on their own grounds, ahead of the blanket
+	// join rejection: a hash build's contents are run-time inner state
+	// no replay can re-derive, so even a future per-operator
+	// join-freezing scheme must keep refusing these stages.
+	for i := range st.JoinStages {
+		if st.JoinStages[i].Operator == JoinOpHJ {
+			return nil, false
+		}
+	}
 	// Multi-table retrievals are never frozen: a join's operator and
 	// order choices hinge on intermediate cardinalities the replay
 	// machinery cannot re-derive, and mid-flight re-optimization is the

@@ -77,6 +77,9 @@ type joinExec struct {
 	trc     *tracer
 	dynamic bool
 	reoptF  float64
+	// ordered is the plan's order-preserving claim; the driver scans
+	// descending when the query wants descending order.
+	ordered bool
 }
 
 func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, error) {
@@ -111,6 +114,7 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 		o: o, ec: ec, jq: jq, infos: infos, jts: jts,
 		offs: jq.Offsets(), width: jq.Width(), st: &st, trc: trc,
 		dynamic: dynamic, reoptF: o.cfg.JoinReoptFactor,
+		ordered: plan.Ordered,
 	}
 	stages := append([]JoinStagePlan(nil), plan.Stages...)
 	trc.emit(TraceEvent{
@@ -121,10 +125,20 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 	})
 	// Join retrievals are structurally ineligible for plan capture
 	// (CapturePlan refuses them); announce that up front so cache-aware
-	// callers and the metrics see the rejection.
+	// callers and the metrics see the rejection. hj stages are called
+	// out on their own grounds — their build tables hold run-time inner
+	// state no replay could re-derive — so a future per-operator
+	// join-freezing scheme keeps a reason to refuse them.
+	captureDetail := "multi-table retrievals are never frozen"
+	for _, sg := range stages {
+		if sg.Operator == JoinOpHJ {
+			captureDetail = "hj build side is re-derived at run time; multi-table retrievals are never frozen"
+			break
+		}
+	}
 	trc.emit(TraceEvent{
 		Kind: EvPlanCaptureRejected, Tactic: "join",
-		Detail: "multi-table retrievals are never frozen",
+		Detail: captureDetail,
 	})
 
 	in := make([]bool, len(jq.Tables))
@@ -135,6 +149,12 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 		return nil, err
 	}
 
+	// orderLive tracks whether the rows still arrive in the query's
+	// ORDER BY order: true only for a plan whose driver delivers it, and
+	// cleared the moment any executed stage runs an order-destroying
+	// operator (hj/nl — whether planned, re-planned mid-flight, or a
+	// probe fallback).
+	orderLive := plan.Ordered
 	replanned := false
 	for si := 1; si < len(stages); si++ {
 		// Stage boundary: if the intermediate cardinality has diverged
@@ -165,6 +185,9 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 			st.JoinStages[len(st.JoinStages)-1].Reoptimized = true
 			replanned = false
 		}
+		if op := st.JoinStages[len(st.JoinStages)-1].Operator; op != JoinOpINL && op != JoinOpRIDX {
+			orderLive = false
+		}
 		in[sg.Table] = true
 		chosen = append(chosen, sg.Table)
 		cur = out
@@ -186,12 +209,30 @@ func (o *Optimizer) runJoin(ec *ExecCtx, jq *JoinQuery, fixed *JoinPlan) (Rows, 
 		cur = kept
 	}
 	if len(jq.OrderBy) > 0 {
-		sortRows(cur, jq.OrderBy, jq.OrderDesc)
+		if orderLive {
+			// The surviving stage order satisfies the ORDER BY: the
+			// final materialized sort is skipped.
+			st.SortAvoided = true
+			trc.emit(TraceEvent{
+				Kind: EvJoinSortAvoided, Tactic: "join",
+				Detail: fmt.Sprintf("plan order satisfies ORDER BY: materialized sort of %d rows skipped", len(cur)),
+			})
+		} else {
+			sortRows(cur, jq.OrderBy, jq.OrderDesc)
+		}
 	}
 	st.Strategy = joinStrategy(jq, st.JoinStages)
 	if o.cfg.Feedback != nil && dynamic {
 		for _, sg := range st.JoinStages {
-			o.cfg.Feedback.ObserveCardinality(sg.Table, sg.Index, sg.EstRows, float64(sg.ActualRows))
+			// Observations key on the catalog table name (via TableIdx;
+			// Table may show an alias). hj stages observe under a
+			// synthetic slot: their actual is join-output rows, which
+			// must not skew the build index's restriction corrections.
+			ixKey := sg.Index
+			if sg.Operator == JoinOpHJ {
+				ixKey = joinFeedbackHJ
+			}
+			o.cfg.Feedback.ObserveCardinality(jq.Tables[sg.TableIdx].Name, ixKey, sg.EstRows, float64(sg.ActualRows))
 		}
 		// Whole-join output feedback: the final output cardinality
 		// (after the residual, which per-stage estimates never see)
@@ -238,7 +279,7 @@ func sameStages(a, b []JoinStagePlan) bool {
 func stageTableNames(jq *JoinQuery, stages []JoinStagePlan) []string {
 	out := make([]string, len(stages))
 	for i, sg := range stages {
-		out[i] = jq.Tables[sg.Table].Name
+		out[i] = jq.nameOf(sg.Table)
 	}
 	return out
 }
@@ -265,7 +306,8 @@ func joinStrategy(jq *JoinQuery, stages []JoinStageStats) string {
 func (je *joinExec) recordStage(sg *JoinStagePlan, actualRows int, io storage.IOStats, reopt bool) {
 	je.st.IO = je.st.IO.Add(io)
 	je.st.JoinStages = append(je.st.JoinStages, JoinStageStats{
-		Table:       je.jq.Tables[sg.Table].Name,
+		Table:       je.jq.nameOf(sg.Table),
+		TableIdx:    sg.Table,
 		Operator:    sg.Operator,
 		Index:       sg.Index,
 		EstRows:     sg.EstRows,
@@ -296,7 +338,19 @@ func (je *joinExec) execDriver(sg *JoinStagePlan) ([]expr.Row, error) {
 	}
 	if sg.Operator == "iscan" {
 		info := je.infos[t]
-		cur, err := info.restrIx.Tree.SeekTracked(info.restrLo, info.restrHi, m.tr)
+		ix := tab.IndexByName(sg.Index)
+		if ix == nil {
+			return nil, fmt.Errorf("core: join driver index %s.%s not found", tab.Name, sg.Index)
+		}
+		// The restriction bounds apply only when this index derived
+		// them; an order-delivering driver on a different index scans
+		// the full key range and filters per fetched row. A descending
+		// ORDER BY turns an order-delivering driver scan around.
+		var lo, hi []byte
+		if info.restrIx != nil && info.restrIx.Name == sg.Index {
+			lo, hi = info.restrLo, info.restrHi
+		}
+		cur, err := newEntryCursor(ix.Tree, lo, hi, je.ordered && je.jq.OrderDesc, m.tr)
 		if err != nil {
 			return nil, err
 		}
@@ -403,6 +457,13 @@ func (je *joinExec) execStage(sg *JoinStagePlan, outer []expr.Row, in []bool) ([
 		}
 		je.recordStage(sg, len(out), io, false)
 		return out, nil
+	case JoinOpHJ:
+		out, io, err := je.execHJ(sg, preds, outer)
+		if err != nil {
+			return nil, err
+		}
+		je.recordStage(sg, len(out), io, false)
+		return out, nil
 	case JoinOpINL, JoinOpRIDX:
 		m := newMeter(je.ec)
 		var filter *rid.CompressedBitmap
@@ -421,18 +482,21 @@ func (je *joinExec) execStage(sg *JoinStagePlan, outer []expr.Row, in []bool) ([
 			je.recordStage(sg, len(out), m.io(), false)
 			return out, nil
 		}
-		// Probing is costing more than a plain scan of the inner:
+		// Probing is costing more than a single scan of the inner:
 		// abandon it (the spent I/O stays attributed) and redo the
-		// stage as a nested loop over the materialized input.
+		// stage with a scan-based operator — a hash join over the same
+		// connecting predicates (probe stages always have at least one),
+		// whose build scan costs what the nested loop's would while its
+		// probe phase is linear instead of quadratic.
 		je.trc.emit(TraceEvent{
 			Kind: EvJoinReoptimized, Tactic: "join", Scan: sg.Operator,
 			Indexes:  []string{tab.Name, sg.Index},
 			ActualIO: m.cost(),
-			Detail:   fmt.Sprintf("probe cost projects past %.0fx nested-loop scan: falling back to nl", je.reoptF),
+			Detail:   fmt.Sprintf("probe cost projects past %.0fx a one-scan alternative: falling back to hj", je.reoptF),
 		})
 		spent := m.io()
-		sg.Operator, sg.Index = JoinOpNL, ""
-		out, io, err := je.execNL(t, preds, outer)
+		sg.Operator, sg.Index = JoinOpHJ, ""
+		out, io, err := je.execHJ(sg, preds, outer)
 		if err != nil {
 			return nil, err
 		}

@@ -298,8 +298,10 @@ func TestJoinOperatorEquivalence(t *testing.T) {
 		{JoinOpNL, ""},
 		{JoinOpINL, "ORD_CUST_IX"},
 		{JoinOpRIDX, "ORD_CUST_IX"},
+		{JoinOpHJ, ""},           // heap build
+		{JoinOpHJ, "ORD_QTY_IX"}, // index-assisted build via the QTY restriction
 	} {
-		t.Run(op.name, func(t *testing.T) {
+		t.Run(op.name+"/"+op.index, func(t *testing.T) {
 			o := NewOptimizer(Config{})
 			plan := &JoinPlan{Stages: []JoinStagePlan{
 				{Table: 0, Operator: "tscan", EstRows: float64(f.nCust)},
@@ -533,6 +535,247 @@ func TestCapturePlanRejectsJoin(t *testing.T) {
 	}
 	if got := o.Metrics().Snapshot(); got.PlanCaptureRejected == 0 || got.JoinQueries == 0 {
 		t.Fatalf("metrics missed the join: %+v", got)
+	}
+}
+
+// TestHashJoinEquivalence quickchecks the forced hash-join operator
+// against the independent oracle across the hostile corners: NULL join
+// keys on both sides, duplicate keys, an empty build side, a restricted
+// driver, and a bounded buffer pool.
+func TestHashJoinEquivalence(t *testing.T) {
+	f := newJoinFixture(t, 80, 500, 20, 48, true)
+	cases := []struct {
+		name      string
+		custLocal expr.Expr
+		ordLocal  expr.Expr
+		index     string
+	}{
+		{"plain", nil, nil, ""},
+		{"restricted-driver", expr.NewCmp(expr.EQ, expr.Col(1, "SEG"), expr.Lit(expr.Int(0))), nil, ""},
+		{"index-build", nil, expr.NewCmp(expr.GE, expr.Col(3, "QTY"), expr.Lit(expr.Int(8))), "ORD_QTY_IX"},
+		{"empty-build", nil, expr.NewCmp(expr.GE, expr.Col(3, "QTY"), expr.Lit(expr.Int(100))), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jq := f.custOrdQuery(tc.custLocal)
+			jq.Local[1] = tc.ordLocal
+			want := oracleJoin(t, jq, [][]expr.Row{f.custRows, f.ordRows})
+			o := NewOptimizer(Config{})
+			plan := &JoinPlan{Stages: []JoinStagePlan{
+				{Table: 0, Operator: "tscan", EstRows: float64(f.nCust)},
+				{Table: 1, Operator: JoinOpHJ, Index: tc.index, EstRows: 1},
+			}}
+			got, st := drainJoin(t, o.RunJoinPlan(nil, jq, plan))
+			assertSameRows(t, tc.name, got, want)
+			if len(want) > 0 && st.JoinStages[1].Operator != JoinOpHJ {
+				t.Fatalf("stage 1 ran %s, want hj", st.JoinStages[1].Operator)
+			}
+		})
+	}
+}
+
+// TestHashJoinParallelProbe forces hj under adaptive parallelism and
+// checks the chunked parallel probe returns the same multiset as the
+// sequential run.
+func TestHashJoinParallelProbe(t *testing.T) {
+	f := newJoinFixture(t, 100, 600, 20, 0, true)
+	jq := f.custOrdQuery(nil)
+	want := oracleJoin(t, jq, [][]expr.Row{f.custRows, f.ordRows})
+	o := NewOptimizer(Config{AdaptiveParallelism: true, Parallelism: 8})
+	plan := &JoinPlan{Stages: []JoinStagePlan{
+		{Table: 0, Operator: "tscan", EstRows: float64(f.nCust)},
+		{Table: 1, Operator: JoinOpHJ, EstRows: 1},
+	}}
+	got, _ := drainJoin(t, o.RunJoinPlan(nil, f.custOrdQuery(nil), plan))
+	assertSameRows(t, "parallel-probe", got, want)
+}
+
+// TestHashJoinDynamicPick joins on a column with no probe index
+// (ORD.ITEM): the per-stage competition must pick hj over the quadratic
+// nested loop, deliver the oracle's rows, and count the win.
+func TestHashJoinDynamicPick(t *testing.T) {
+	f := newJoinFixture(t, 100, 600, 20, 64, false)
+	jq := &JoinQuery{
+		Tables: []*catalog.Table{f.cust, f.ord},
+		Local:  []expr.Expr{nil, nil},
+		Preds:  []JoinPred{{LT: 0, LC: 0, RT: 1, RC: 2}}, // CUST.ID = ORD.ITEM, unindexed
+	}
+	want := oracleJoin(t, jq, [][]expr.Row{f.custRows, f.ordRows})
+	o := NewOptimizer(Config{})
+	got, st := drainJoin(t, o.RunJoin(nil, jq))
+	assertSameRows(t, "dynamic", got, want)
+	var ranHJ bool
+	for _, sg := range st.JoinStages {
+		if sg.Operator == JoinOpHJ {
+			ranHJ = true
+		}
+	}
+	if !ranHJ {
+		t.Fatalf("competition did not pick hj: %s", st.Strategy)
+	}
+	if wins := o.Metrics().Snapshot().JoinOperatorWins[JoinOpHJ]; wins == 0 {
+		t.Fatalf("hj win not counted: %+v", o.Metrics().Snapshot().JoinOperatorWins)
+	}
+}
+
+// isSortedBy reports whether rows are ordered by the given projected
+// column (NULLs first, mirroring sortRows).
+func isSortedBy(rows []expr.Row, col int, desc bool) bool {
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1][col], rows[i][col]
+		c := 0
+		switch {
+		case a.IsNull() && b.IsNull():
+		case a.IsNull():
+			c = -1
+		case b.IsNull():
+			c = 1
+		default:
+			c = expr.Compare(a, b)
+		}
+		if desc {
+			c = -c
+		}
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sortAvoidFixture builds a two-table schema tuned so the cheapest plan
+// is naturally order-preserving: both tables are page-fat (the driver's
+// restriction-index scan genuinely beats its sequential scan, and the
+// probe side's heap is expensive enough that hj loses to inl for a
+// small driver range). CUST (ID, SEG, PAD) with CUST_ID_IX; ORD (ID,
+// CUST, PAD) with ORD_CUST_IX.
+func sortAvoidFixture(t testing.TB) (cust, ord *catalog.Table) {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(4096), 64))
+	var err error
+	cust, err = cat.CreateTable("CUST", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "SEG", Type: expr.TypeInt},
+		{Name: "PAD", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err = cat.CreateTable("ORD", []catalog.Column{
+		{Name: "ID", Type: expr.TypeInt},
+		{Name: "CUST", Type: expr.TypeInt},
+		{Name: "PAD", Type: expr.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cust.CreateIndex("CUST_ID_IX", "ID"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ord.CreateIndex("ORD_CUST_IX", "CUST"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pad := strings.Repeat("p", 400)
+	for i := 0; i < 300; i++ {
+		if _, err := cust.Insert(expr.Row{expr.Int(int64(i)), expr.Int(int64(i % 5)), expr.Str(pad)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 900; i++ {
+		if _, err := ord.Insert(expr.Row{expr.Int(int64(i)), expr.Int(rng.Int63n(300)), expr.Str(pad)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cust, ord
+}
+
+// TestSortAvoidedOrderEquivalence runs an ORDER BY join whose cheapest
+// plan is order-preserving (restricted driver on the ordering index,
+// inl probe) against a baseline with sort avoidance disabled. The aware
+// run must skip the materialized sort and still deliver the baseline's
+// rows byte-for-byte, ascending and descending.
+func TestSortAvoidedOrderEquivalence(t *testing.T) {
+	cust, ord := sortAvoidFixture(t)
+	mk := func() *JoinQuery {
+		return &JoinQuery{
+			Tables:  []*catalog.Table{cust, ord},
+			Local:   []expr.Expr{expr.NewCmp(expr.LT, expr.Col(0, "ID"), expr.Lit(expr.Int(12))), nil},
+			Preds:   []JoinPred{{LT: 0, LC: 0, RT: 1, RC: 1}},
+			OrderBy: []int{0}, // CUST.ID, delivered by CUST_ID_IX
+		}
+	}
+	for _, desc := range []bool{false, true} {
+		name := "asc"
+		if desc {
+			name = "desc"
+		}
+		t.Run(name, func(t *testing.T) {
+			jqA := mk()
+			jqA.OrderDesc = desc
+			aware, stA := drainJoin(t, NewOptimizer(Config{}).RunJoin(nil, jqA))
+			jqB := mk()
+			jqB.OrderDesc = desc
+			base, stB := drainJoin(t, NewOptimizer(Config{DisableJoinSortAvoidance: true}).RunJoin(nil, jqB))
+			if !stA.SortAvoided {
+				t.Fatalf("aware run sorted anyway: %s", stA.Strategy)
+			}
+			if stB.SortAvoided {
+				t.Fatalf("baseline run avoided the sort with avoidance disabled")
+			}
+			if len(aware) == 0 || len(aware) != len(base) {
+				t.Fatalf("aware %d rows, baseline %d", len(aware), len(base))
+			}
+			for i := range aware {
+				if rowKey(aware[i]) != rowKey(base[i]) {
+					t.Fatalf("row %d differs:\n aware    %v\n baseline %v", i, aware[i], base[i])
+				}
+			}
+			if !isSortedBy(aware, 0, desc) {
+				t.Fatalf("aware output not in %s order", name)
+			}
+			var avoided bool
+			for _, ev := range stA.Events {
+				if ev.Kind == EvJoinSortAvoided {
+					avoided = true
+				}
+			}
+			if !avoided {
+				t.Fatalf("aware run did not emit %s", EvJoinSortAvoided)
+			}
+		})
+	}
+}
+
+// TestSortNotAvoidedStillOrdered is the negative guard: when the
+// cheapest plan routes through an order-destroying operator (hj) and
+// the order-preserving alternative is too expensive, the final sort
+// must still run and deliver correct order.
+func TestSortNotAvoidedStillOrdered(t *testing.T) {
+	f := newJoinFixture(t, 100, 600, 20, 64, false)
+	jq := f.custOrdQuery(nil) // unrestricted: hj beats the 100-row inl probe chain
+	jq.OrderBy = []int{0}
+	got, st := drainJoin(t, NewOptimizer(Config{}).RunJoin(nil, jq))
+	if st.SortAvoided {
+		t.Fatalf("sort reported avoided on an order-destroying plan: %s", st.Strategy)
+	}
+	if !isSortedBy(got, 0, false) {
+		t.Fatalf("output not sorted")
+	}
+	want := oracleJoin(t, jq, [][]expr.Row{f.custRows, f.ordRows})
+	assertSameRows(t, "sorted", got, want)
+}
+
+// TestCapturePlanRejectsHashJoinStage pins the explicit hj guard in
+// CapturePlan: a stats record carrying an hj stage must never freeze,
+// independent of the blanket join rejection.
+func TestCapturePlanRejectsHashJoinStage(t *testing.T) {
+	st := &RetrievalStats{
+		Tactic:     "sorted", // not the join tactic: only the hj stage guard can reject
+		JoinStages: []JoinStageStats{{Table: "ORD", Operator: JoinOpHJ}},
+	}
+	if plan, ok := CapturePlan(st); ok {
+		t.Fatalf("CapturePlan froze an hj retrieval as %s", plan)
 	}
 }
 

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rdbdyn/internal/estimate"
+	"rdbdyn/internal/expr"
+	"rdbdyn/internal/storage"
+)
+
+// The build/probe hash-join operator (hj): the fourth per-stage
+// competitor next to nl/inl/ridx. One tracked scan of the inner table
+// builds an in-memory hash table over its qualifying rows — via the
+// restriction-index range when planning found that cheaper than the
+// heap — keyed by the concatenated order-preserving encodings of every
+// connecting equi-join column. The probe phase is pure CPU: each outer
+// row looks up its key bucket and re-verifies the predicates against
+// the candidates (hash buckets may alias; predsMatch is the truth).
+// All charged I/O is the build scan's, attributed through the stage
+// meter like every other operator.
+
+// hashJoinKey appends the encoded join-key values of row at the given
+// positions. ok=false when any value is NULL: a NULL key never matches
+// anything (SQL two-valued semantics), so NULL rows neither enter the
+// build table nor probe it.
+func hashJoinKey(buf []byte, row expr.Row, cols []int) (_ []byte, ok bool) {
+	for _, c := range cols {
+		v := row[c]
+		if v.IsNull() {
+			return buf, false
+		}
+		buf = expr.EncodeKey(buf, v)
+	}
+	return buf, true
+}
+
+// execHJ runs one hj stage: build over the inner table's qualifying
+// rows, probe from the outer (driver) side.
+func (je *joinExec) execHJ(sg *JoinStagePlan, preds []stagePred, outer []expr.Row) ([]expr.Row, storage.IOStats, error) {
+	if len(preds) == 0 {
+		return nil, storage.IOStats{}, fmt.Errorf("core: hj stage on %s without an equi-join predicate", je.jq.nameOf(sg.Table))
+	}
+	m := newMeter(je.ec)
+	t := sg.Table
+	tab := je.jq.Tables[t]
+	local := je.jq.Local[t]
+	off := je.offs[t]
+	innerCols := make([]int, len(preds))
+	outerCols := make([]int, len(preds))
+	for i, sp := range preds {
+		innerCols[i] = sp.innerCol
+		outerCols[i] = sp.outerPos
+	}
+
+	ht := make(map[string][]expr.Row)
+	var kbuf []byte
+	insert := func(row expr.Row) {
+		key, ok := hashJoinKey(kbuf[:0], row, innerCols)
+		kbuf = key
+		if !ok {
+			return
+		}
+		ht[string(key)] = append(ht[string(key)], row)
+	}
+	if sg.Index != "" {
+		// Index-assisted build: the restriction index bounds the
+		// qualifying rows, so only they are fetched. The range may
+		// over-approximate the restriction; the full local predicate
+		// re-filters every fetched row, exactly like the driver's iscan.
+		info := je.infos[t]
+		if info.restrIx == nil || info.restrIx.Name != sg.Index {
+			return nil, m.io(), fmt.Errorf("core: hj build index %s.%s is not the restriction index", tab.Name, sg.Index)
+		}
+		cur, err := info.restrIx.Tree.SeekTracked(info.restrLo, info.restrHi, m.tr)
+		if err != nil {
+			return nil, m.io(), err
+		}
+		defer cur.Close()
+		for {
+			_, r, ok, err := cur.Next()
+			if err != nil {
+				return nil, m.io(), err
+			}
+			if !ok {
+				break
+			}
+			row, err := tab.FetchTracked(r, m.tr)
+			if err != nil {
+				return nil, m.io(), err
+			}
+			pass, err := expr.EvalPred(local, row, je.jq.Binds)
+			if err != nil {
+				return nil, m.io(), err
+			}
+			if pass {
+				insert(row)
+			}
+		}
+	} else {
+		hc := tab.Heap.CursorTracked(m.tr)
+		defer hc.Close()
+		for {
+			rec, _, ok, err := hc.Next()
+			if err != nil {
+				return nil, m.io(), err
+			}
+			if !ok {
+				break
+			}
+			row, err := expr.DecodeRow(rec)
+			if err != nil {
+				return nil, m.io(), err
+			}
+			pass, err := expr.EvalPred(local, row, je.jq.Binds)
+			if err != nil {
+				return nil, m.io(), err
+			}
+			if pass {
+				insert(row)
+			}
+		}
+	}
+
+	if handled, out := je.hjProbeParallel(ht, preds, outerCols, outer, off); handled {
+		return out, m.io(), nil
+	}
+	out := hjProbeChunk(ht, preds, outerCols, outer, off)
+	return out, m.io(), nil
+}
+
+// hjProbeChunk probes the (read-only) hash table for a contiguous run
+// of outer rows, preserving outer order in the output.
+func hjProbeChunk(ht map[string][]expr.Row, preds []stagePred, outerCols []int, outer []expr.Row, off int) []expr.Row {
+	var out []expr.Row
+	var kbuf []byte
+	for _, orow := range outer {
+		key, ok := hashJoinKey(kbuf[:0], orow, outerCols)
+		kbuf = key
+		if !ok {
+			continue
+		}
+		for _, irow := range ht[string(key)] {
+			if predsMatch(preds, orow, irow) {
+				out = append(out, combineRows(orow, irow, off))
+			}
+		}
+	}
+	return out
+}
+
+// hjProbeParallel fans the CPU-only probe phase across workers under
+// adaptive parallelism: contiguous outer chunks probe the shared
+// read-only hash table concurrently and the per-chunk outputs
+// concatenate in chunk order, matching the sequential probe exactly.
+// The probe charges no I/O, so the width policy prices it through the
+// CPU-in-I/O currency — small probe sides stay sequential.
+func (je *joinExec) hjProbeParallel(ht map[string][]expr.Row, preds []stagePred, outerCols []int, outer []expr.Row, off int) (handled bool, _ []expr.Row) {
+	if !je.o.cfg.AdaptiveParallelism || je.o.cfg.effectiveWorkers() < 2 || len(outer) < 2 {
+		return false, nil
+	}
+	estIO := estimate.JoinCPUCost(float64(len(outer)))
+	width := decideWidth(je.o.cfg, je.ec, je.trc, "HashProbe", estIO)
+	if width < 2 {
+		return false, nil
+	}
+	k := width
+	if k > len(outer) {
+		k = len(outer)
+	}
+	outs := make([][]expr.Row, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int, rows []expr.Row) {
+			defer wg.Done()
+			outs[i] = hjProbeChunk(ht, preds, outerCols, rows, off)
+		}(i, outer[i*len(outer)/k:(i+1)*len(outer)/k])
+	}
+	wg.Wait()
+	var out []expr.Row
+	for i := range outs {
+		out = append(out, outs[i]...)
+	}
+	return true, out
+}

@@ -20,6 +20,12 @@ type JoinPred struct {
 // positions (table offset + table-local column).
 type JoinQuery struct {
 	Tables []*catalog.Table
+	// Names are the display names of the FROM tables — the alias when
+	// one was declared, else the table name. Self-joins bind the same
+	// *catalog.Table at two positions and tell them apart here. Empty
+	// or missing entries fall back to the catalog name; a nil slice is
+	// valid (no aliases anywhere).
+	Names []string
 	// Local holds each table's single-table restriction (conjuncts of
 	// WHERE referencing only that table, in table-local positions); nil
 	// entries mean unrestricted. len(Local) == len(Tables).
@@ -38,6 +44,15 @@ type JoinQuery struct {
 	Limit      int // deliver at most this many rows; 0 = all
 	Goal       Goal
 	Control    ControlNode
+}
+
+// nameOf returns table i's display name: its alias when declared, else
+// the catalog name.
+func (jq *JoinQuery) nameOf(i int) string {
+	if i < len(jq.Names) && jq.Names[i] != "" {
+		return jq.Names[i]
+	}
+	return jq.Tables[i].Name
 }
 
 // Offsets returns each table's starting position in the flat row.
@@ -67,6 +82,9 @@ func (jq *JoinQuery) validate() error {
 	}
 	if len(jq.Local) != len(jq.Tables) {
 		return fmt.Errorf("core: join query has %d local restrictions for %d tables", len(jq.Local), len(jq.Tables))
+	}
+	if len(jq.Names) != 0 && len(jq.Names) != len(jq.Tables) {
+		return fmt.Errorf("core: join query has %d names for %d tables", len(jq.Names), len(jq.Tables))
 	}
 	for i, t := range jq.Tables {
 		if t == nil {
@@ -111,12 +129,13 @@ func (jq *JoinQuery) project(row expr.Row) expr.Row {
 	return out
 }
 
-// Join operator kinds: the three inner-stage execution strategies. The
+// Join operator kinds: the four inner-stage execution strategies. The
 // constants size the Metrics per-operator win counters.
 const (
 	joinOpNL = iota
 	joinOpINL
 	joinOpRIDX
+	joinOpHJ
 	joinOpCount
 )
 
@@ -126,6 +145,7 @@ const (
 	JoinOpNL   = "nl"   // nested loop over a once-scanned materialized inner
 	JoinOpINL  = "inl"  // index nested loop: B-tree probe per outer row
 	JoinOpRIDX = "ridx" // INL probing filtered through a restriction-index RID bitmap
+	JoinOpHJ   = "hj"   // build/probe hash join: in-memory table over the inner, probed per outer row
 )
 
 func joinOpName(k int) string {
@@ -136,6 +156,8 @@ func joinOpName(k int) string {
 		return JoinOpINL
 	case joinOpRIDX:
 		return JoinOpRIDX
+	case joinOpHJ:
+		return JoinOpHJ
 	default:
 		return "?"
 	}
@@ -149,6 +171,8 @@ func joinOpIndex(name string) (int, bool) {
 		return joinOpINL, true
 	case JoinOpRIDX:
 		return joinOpRIDX, true
+	case JoinOpHJ:
+		return joinOpHJ, true
 	default:
 		return 0, false
 	}

@@ -46,11 +46,12 @@ type Metrics struct {
 	estErrZero       atomic.Int64
 
 	// Multi-table retrieval counters.
-	joinQueries     atomic.Int64
-	joinOrders      atomic.Int64
-	joinReopts      atomic.Int64
-	joinOpWins      [joinOpCount]atomic.Int64
-	planCaptureRejs atomic.Int64
+	joinQueries      atomic.Int64
+	joinOrders       atomic.Int64
+	joinReopts       atomic.Int64
+	joinOpWins       [joinOpCount]atomic.Int64
+	joinSortsAvoided atomic.Int64
+	planCaptureRejs  atomic.Int64
 
 	// Adaptive-parallelism counters (only moved under
 	// Config.AdaptiveParallelism).
@@ -95,6 +96,8 @@ func (m *Metrics) onEvent(ev TraceEvent) {
 		m.joinOrders.Add(1)
 	case EvJoinReoptimized:
 		m.joinReopts.Add(1)
+	case EvJoinSortAvoided:
+		m.joinSortsAvoided.Add(1)
 	case EvPlanCaptureRejected:
 		m.planCaptureRejs.Add(1)
 	case EvParallelWidthChosen:
@@ -217,6 +220,7 @@ type MetricsSnapshot struct {
 	JoinOrdersChosen    int64            `json:"join_orders_chosen,omitempty"`
 	JoinReoptimizations int64            `json:"join_reoptimizations,omitempty"`
 	JoinOperatorWins    map[string]int64 `json:"join_operator_wins,omitempty"`
+	JoinSortsAvoided    int64            `json:"join_sorts_avoided,omitempty"`
 	PlanCaptureRejected int64            `json:"plan_capture_rejected,omitempty"`
 
 	// Adaptive-parallelism outcomes. All omitempty: workloads that never
@@ -247,6 +251,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.JoinQueries = m.joinQueries.Load()
 	s.JoinOrdersChosen = m.joinOrders.Load()
 	s.JoinReoptimizations = m.joinReopts.Load()
+	s.JoinSortsAvoided = m.joinSortsAvoided.Load()
 	s.PlanCaptureRejected = m.planCaptureRejs.Load()
 	for k := range m.joinOpWins {
 		if n := m.joinOpWins[k].Load(); n > 0 {

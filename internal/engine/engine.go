@@ -472,6 +472,9 @@ func (s *Stmt) explainJoin(ec *core.ExecCtx, jq *core.JoinQuery, analyze bool) (
 			[2]string{"attributed I/O", fmt.Sprintf("%d", st.IO.IOCost())},
 			[2]string{"estimation I/O", fmt.Sprintf("%d", st.EstimateIO)},
 		)
+		if st.SortAvoided {
+			out = append(out, [2]string{"order", "plan order satisfies ORDER BY; final materialized sort skipped"})
+		}
 		for i, sg := range st.JoinStages {
 			detail := fmt.Sprintf("%s est %.0f rows, actual %d, I/O %d", sg.Operator, sg.EstRows, sg.ActualRows, sg.IO)
 			if sg.Index != "" {

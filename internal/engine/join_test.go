@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rdbdyn/internal/catalog"
+	"rdbdyn/internal/core"
 	"rdbdyn/internal/expr"
 )
 
@@ -252,6 +253,162 @@ func TestEngineJoinFreezeRejected(t *testing.T) {
 	}
 	if jq := stmt.JoinQuery(); jq == nil || len(jq.Tables) != 2 {
 		t.Fatalf("JoinQuery = %+v", jq)
+	}
+}
+
+// TestEngineSelfJoinAliases runs an aliased self-join end to end: two
+// occurrences of CUST joined on ID, so every seg-0 customer pairs with
+// itself exactly once.
+func TestEngineSelfJoinAliases(t *testing.T) {
+	db := newJoinDB(t, 120, 300, Options{})
+	res, err := db.Query("SELECT a.ID, b.NAME FROM CUST a JOIN CUST AS b ON a.ID = b.ID WHERE a.SEG = 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := res.Columns(); len(cols) != 2 || cols[0] != "a.ID" || cols[1] != "b.NAME" {
+		t.Fatalf("columns = %v", cols)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := db.Query("SELECT COUNT(*) FROM CUST WHERE SEG = 0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crows, err := cres.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := crows[0][0].I; int64(len(rows)) != want {
+		t.Fatalf("self-join delivered %d rows, want %d", len(rows), want)
+	}
+	// Stage names carry the aliases.
+	st := res.Stats()
+	names := map[string]bool{}
+	for _, sg := range st.JoinStages {
+		names[sg.Table] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Fatalf("stage tables = %v, want aliases a and b", names)
+	}
+	// Unaliased self-joins stay rejected, with an alias hint.
+	if _, err := db.Query("SELECT * FROM CUST JOIN CUST ON CUST.ID = CUST.SEG", nil); err == nil ||
+		!strings.Contains(err.Error(), "alias") {
+		t.Fatalf("unaliased self-join error = %v", err)
+	}
+}
+
+// TestEngineJoinPicksHashJoin joins on columns with no usable probe
+// index: the per-stage competition must run an hj stage and count it.
+func TestEngineJoinPicksHashJoin(t *testing.T) {
+	db := newJoinDB(t, 60, 200, Options{})
+	res, err := db.Query("SELECT CUST.ID, ORD.ID FROM CUST JOIN ORD ON CUST.SEG = ORD.QTY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("join returned no rows")
+	}
+	var ranHJ bool
+	for _, sg := range res.Stats().JoinStages {
+		if sg.Operator == core.JoinOpHJ {
+			ranHJ = true
+		}
+	}
+	if !ranHJ {
+		t.Fatalf("no hj stage in %s", res.Stats().Strategy)
+	}
+	if m := db.Metrics(); m.JoinOperatorWins[core.JoinOpHJ] == 0 {
+		t.Fatalf("hj win not counted: %+v", m.JoinOperatorWins)
+	}
+}
+
+// newSortAvoidDB builds the fat-table schema whose cheapest ORDER BY
+// plan is order-preserving (see core's sortAvoidFixture).
+func newSortAvoidDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db := Open(opts)
+	if _, err := db.CreateTable("CUST",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "SEG", Type: expr.TypeInt},
+		catalog.Column{Name: "PAD", Type: expr.TypeString},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("ORD",
+		catalog.Column{Name: "ID", Type: expr.TypeInt},
+		catalog.Column{Name: "CUST", Type: expr.TypeInt},
+		catalog.Column{Name: "PAD", Type: expr.TypeString},
+	); err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range [][3]string{{"CUST", "CUST_ID_IX", "ID"}, {"ORD", "ORD_CUST_IX", "CUST"}} {
+		if _, err := db.CreateIndex(ix[0], ix[1], ix[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	pad := strings.Repeat("p", 400)
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("CUST", i, i%5, pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 900; i++ {
+		if err := db.Insert("ORD", i, int(rng.Int63n(300)), pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestEngineJoinOrderBySortAvoided runs an ORDER BY join through SQL on
+// twin databases, one with sort avoidance disabled: the aware run must
+// skip the materialized sort and deliver the baseline's rows in the
+// same order.
+func TestEngineJoinOrderBySortAvoided(t *testing.T) {
+	src := "SELECT CUST.ID, ORD.ID FROM CUST JOIN ORD ON CUST.ID = ORD.CUST WHERE CUST.ID < 12 ORDER BY CUST.ID"
+	aware := newSortAvoidDB(t, Options{})
+	base := newSortAvoidDB(t, Options{Optimizer: core.Config{DisableJoinSortAvoidance: true}})
+	ares, err := aware.Query(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arows, err := ares.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := base.Query(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brows, err := bres.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.Stats().SortAvoided {
+		t.Fatalf("aware run sorted anyway: %s", ares.Stats().Strategy)
+	}
+	if bres.Stats().SortAvoided {
+		t.Fatal("baseline avoided the sort with avoidance disabled")
+	}
+	if len(arows) == 0 || len(arows) != len(brows) {
+		t.Fatalf("aware %d rows, baseline %d", len(arows), len(brows))
+	}
+	for i := range arows {
+		for c := range arows[i] {
+			if expr.Compare(arows[i][c], brows[i][c]) != 0 {
+				t.Fatalf("row %d differs: %v vs %v", i, arows[i], brows[i])
+			}
+		}
+	}
+	if m := aware.Metrics(); m.JoinSortsAvoided == 0 {
+		t.Fatalf("sorts-avoided metric = %+v", m)
 	}
 }
 

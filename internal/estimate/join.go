@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"bytes"
+	"math"
 
 	"rdbdyn/internal/catalog"
 )
@@ -11,6 +12,35 @@ import (
 // same magic number the static System R baseline uses for equality
 // selectivity.
 const DefaultJoinDistinctFraction = 0.1
+
+// JoinCPURowsPerIO converts join CPU work into the simulated-I/O
+// currency: this many row visits (hash insertions, probe comparisons,
+// sort comparisons) cost as much as one page access. The calibration is
+// deliberately CPU-respecting — coarse enough that heap-sized I/O still
+// dominates small queries, fine enough that a nested loop's quadratic
+// comparison count and a materialized sort's n·log n both register at
+// bench scales. Only join planning uses the conversion; single-table
+// retrievals and every paper experiment remain pure-I/O.
+const JoinCPURowsPerIO = 64
+
+// JoinCPUCost prices rows row visits in the simulated-I/O currency.
+func JoinCPUCost(rows float64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	return rows / JoinCPURowsPerIO
+}
+
+// JoinSortCost prices the final materialized sort of a join's output —
+// n·log2(n) comparisons in the shared CPU currency. This is the bar an
+// order-preserving plan must beat: it wins whenever its extra I/O stays
+// within the avoided sort's cost.
+func JoinSortCost(rows float64) float64 {
+	if rows < 2 {
+		return 0
+	}
+	return JoinCPUCost(rows * math.Log2(rows))
+}
 
 // distinctSampleRanks is how many evenly-ranked entries DistinctEstimate
 // reads. Deterministic (no randomness), so twin databases produce

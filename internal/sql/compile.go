@@ -170,17 +170,20 @@ type colRef struct{ t, c int }
 // the core.JoinQuery.
 type joinCompiler struct {
 	tables []*catalog.Table
+	names  []string // effective name per table: its alias, else its catalog name
 	offs   []int
 }
 
 // resolve maps a (possibly qualified) column name to its table and
-// table-local position. Unqualified names must be unique across the
-// FROM tables.
+// table-local position. Qualified names match the table's effective name
+// — its declared alias when one exists (an alias hides the underlying
+// name, which is what makes self-joins resolvable). Unqualified names
+// must be unique across the FROM tables.
 func (jc *joinCompiler) resolve(name string) (colRef, error) {
 	if i := strings.IndexByte(name, '.'); i >= 0 {
 		tn, cn := name[:i], name[i+1:]
 		for ti, tab := range jc.tables {
-			if tab.Name == tn {
+			if jc.names[ti] == tn {
 				ci, err := tab.ColumnIndex(cn)
 				if err != nil {
 					return colRef{}, err
@@ -198,7 +201,7 @@ func (jc *joinCompiler) resolve(name string) (colRef, error) {
 		}
 		if found.t >= 0 {
 			return colRef{}, fmt.Errorf("sql: column %s is ambiguous between %s and %s (qualify it)",
-				name, jc.tables[found.t].Name, tab.Name)
+				name, jc.names[found.t], jc.names[ti])
 		}
 		found = colRef{ti, ci}
 	}
@@ -318,16 +321,27 @@ func compileJoin(cat *catalog.Catalog, stmt *SelectStmt) (*Compiled, error) {
 	jc := &joinCompiler{offs: []int{}}
 	seen := map[string]bool{}
 	off := 0
-	for _, name := range stmt.Tables {
-		if seen[name] {
-			return nil, fmt.Errorf("sql: table %s appears twice in FROM (self-joins are not supported)", name)
+	aliased := false
+	for i, name := range stmt.Tables {
+		eff := name
+		if i < len(stmt.Aliases) && stmt.Aliases[i] != "" {
+			eff = stmt.Aliases[i]
+			aliased = true
 		}
-		seen[name] = true
+		if seen[eff] {
+			if eff == name {
+				return nil, fmt.Errorf("sql: table %s appears twice in FROM; alias one occurrence (FROM %s a JOIN %s b ON ...)",
+					name, name, name)
+			}
+			return nil, fmt.Errorf("sql: alias %s appears twice in FROM", eff)
+		}
+		seen[eff] = true
 		tab, err := cat.Table(name)
 		if err != nil {
 			return nil, err
 		}
 		jc.tables = append(jc.tables, tab)
+		jc.names = append(jc.names, eff)
 		jc.offs = append(jc.offs, off)
 		off += len(tab.Columns)
 	}
@@ -335,6 +349,9 @@ func compileJoin(cat *catalog.Catalog, stmt *SelectStmt) (*Compiled, error) {
 		Tables: jc.tables,
 		Local:  make([]expr.Expr, len(jc.tables)),
 		Limit:  stmt.Limit,
+	}
+	if aliased {
+		jq.Names = append([]string(nil), jc.names...)
 	}
 
 	switch stmt.Optimize {
@@ -466,9 +483,13 @@ func (c *Compiled) JoinColumnNames() []string {
 		return append([]string(nil), st.Columns...)
 	}
 	var out []string
-	for _, tab := range c.Join.Tables {
+	for ti, tab := range c.Join.Tables {
+		qual := tab.Name
+		if ti < len(c.Join.Names) && c.Join.Names[ti] != "" {
+			qual = c.Join.Names[ti]
+		}
 		for _, col := range tab.Columns {
-			out = append(out, tab.Name+"."+col.Name)
+			out = append(out, qual+"."+col.Name)
 		}
 	}
 	return out

@@ -50,7 +50,7 @@ var keywords = map[string]bool{
 	"VALUES": true, "DELETE": true, "IN": true, "BETWEEN": true,
 	"UPDATE": true, "SET": true,
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "DESC": true,
-	"JOIN": true, "ON": true, "INNER": true,
+	"JOIN": true, "ON": true, "INNER": true, "AS": true,
 }
 
 // SyntaxError reports a parse failure with its input position.

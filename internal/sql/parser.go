@@ -28,8 +28,12 @@ type SelectStmt struct {
 	// Table is the first (or only) FROM table, kept for the
 	// single-table paths; Tables lists every FROM table in syntactic
 	// order and always includes Table as its first element.
-	Table   string
-	Tables  []string
+	Table  string
+	Tables []string
+	// Aliases holds each FROM table's declared alias ("" when none),
+	// parallel to Tables; nil when no table is aliased. Aliases make
+	// self-joins expressible: FROM T a JOIN T b ON a.X = b.Y.
+	Aliases []string
 	Where   Node // nil when absent
 	OrderBy []string
 	// OrderDesc requests descending order (applies to the whole ORDER
@@ -167,6 +171,39 @@ func (p *parser) expectKeyword(kw string) error {
 	return nil
 }
 
+// parseTableRef consumes one FROM table reference — a table name with an
+// optional `[AS] alias` — appending to stmt.Tables (and stmt.Aliases once
+// any table is aliased). A bare identifier is unambiguous as an alias:
+// every token that can legally follow a table reference (WHERE, JOIN,
+// INNER, ON, ORDER, LIMIT, OPTIMIZE, ',', EOF) is a keyword or
+// punctuation, never an identifier.
+func (p *parser) parseTableRef(stmt *SelectStmt, after string) error {
+	tt := p.next()
+	if tt.kind != tokIdent {
+		return errf(tt.pos, "expected table name%s, got %s", after, tt)
+	}
+	stmt.Tables = append(stmt.Tables, tt.text)
+	alias := ""
+	if p.acceptKeyword("AS") {
+		at := p.next()
+		if at.kind != tokIdent {
+			return errf(at.pos, "expected alias after AS, got %s", at)
+		}
+		alias = at.text
+	} else if p.peek().kind == tokIdent {
+		alias = p.next().text
+	}
+	if alias != "" && stmt.Aliases == nil {
+		// First alias seen: backfill "" for the preceding tables so the
+		// slice stays parallel to Tables.
+		stmt.Aliases = make([]string, len(stmt.Tables)-1)
+	}
+	if stmt.Aliases != nil {
+		stmt.Aliases = append(stmt.Aliases, alias)
+	}
+	return nil
+}
+
 func (p *parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
@@ -221,12 +258,10 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	tt := p.next()
-	if tt.kind != tokIdent {
-		return nil, errf(tt.pos, "expected table name, got %s", tt)
+	if err := p.parseTableRef(stmt, ""); err != nil {
+		return nil, err
 	}
-	stmt.Table = tt.text
-	stmt.Tables = []string{tt.text}
+	stmt.Table = stmt.Tables[0]
 	// Additional FROM tables: a comma list and/or [INNER] JOIN ... ON
 	// <pred>. ON predicates are ANDed into WHERE — the compiler pulls
 	// equi-join conjuncts back out, so the two spellings are one shape.
@@ -234,11 +269,9 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	for {
 		if p.peek().kind == tokComma {
 			p.next()
-			jt := p.next()
-			if jt.kind != tokIdent {
-				return nil, errf(jt.pos, "expected table name, got %s", jt)
+			if err := p.parseTableRef(stmt, ""); err != nil {
+				return nil, err
 			}
-			stmt.Tables = append(stmt.Tables, jt.text)
 			continue
 		}
 		if p.acceptKeyword("INNER") {
@@ -248,11 +281,9 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		} else if !p.acceptKeyword("JOIN") {
 			break
 		}
-		jt := p.next()
-		if jt.kind != tokIdent {
-			return nil, errf(jt.pos, "expected table name after JOIN, got %s", jt)
+		if err := p.parseTableRef(stmt, " after JOIN"); err != nil {
+			return nil, err
 		}
-		stmt.Tables = append(stmt.Tables, jt.text)
 		if err := p.expectKeyword("ON"); err != nil {
 			return nil, err
 		}

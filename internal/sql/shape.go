@@ -72,8 +72,19 @@ func shapeCacheKey(src string) string {
 func (c *Compiled) renderShapeKey() string {
 	st := c.Stmt
 	var b strings.Builder
-	if len(st.Tables) > 1 {
-		b.WriteString(strings.Join(st.Tables, ","))
+	if len(st.Tables) > 1 || len(st.Aliases) > 0 {
+		// Each table renders with its alias ("T a") so FROM T a JOIN T b
+		// keys differently from FROM T x JOIN T b only through the
+		// predicate text, while aliased and unaliased spellings of the
+		// same catalog tables stay distinct shapes.
+		refs := make([]string, len(st.Tables))
+		for i, name := range st.Tables {
+			refs[i] = name
+			if i < len(st.Aliases) && st.Aliases[i] != "" {
+				refs[i] = name + " " + st.Aliases[i]
+			}
+		}
+		b.WriteString(strings.Join(refs, ","))
 	} else {
 		b.WriteString(st.Table)
 	}

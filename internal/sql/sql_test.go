@@ -106,7 +106,8 @@ func TestParseErrors(t *testing.T) {
 		"SELECT * FROM t OPTIMIZE FOR SPEED",
 		"SELECT * FROM t WHERE a = 'unterminated",
 		"SELECT COUNT(x) FROM t",
-		"SELECT * FROM t extra",
+		"SELECT * FROM t alias extra", // one alias is legal, two idents are not
+		"SELECT * FROM t AS",
 		"SELECT * FROM t WHERE a = 1.2.3",
 		"SELECT * FROM t WHERE a = :",
 	}
